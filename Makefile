@@ -1,0 +1,36 @@
+# Convenience targets for the distfdk reproduction. Everything is plain
+# `go` underneath; these just name the common workflows.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Concurrency-sensitive packages under the race detector.
+race:
+	$(GO) test -race ./internal/mpi/ ./internal/pipeline/ ./internal/storage/ ./internal/iterative/
+
+bench:
+	$(GO) test -bench=. -benchmem -timeout 45m ./...
+
+# Regenerate every table/figure of the paper's evaluation into artifacts/.
+experiments:
+	$(GO) run ./cmd/fdkbench -exp all -out artifacts | tee artifacts/fdkbench_all.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/outofcore
+	$(GO) run ./examples/distributed
+	$(GO) run ./examples/microct
+	$(GO) run ./examples/iterative
+
+clean:
+	rm -f quickstart_slice.pgm iterative_slice.pgm microct_bean_slice.pgm

@@ -1,0 +1,364 @@
+// Package distfdk's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation (Section 6), plus the ablation
+// benches for the design choices called out in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Laptop-scale benches execute the real code path on synthetic dataset
+// twins; the Fig13/14/15 benches drive the paper-scale discrete-event
+// simulation. Custom metrics report the paper's units (GUPS, bytes moved).
+package distfdk
+
+import (
+	"sync"
+	"testing"
+
+	"distfdk/internal/backproject"
+	"distfdk/internal/core"
+	"distfdk/internal/dataset"
+	"distfdk/internal/dessim"
+	"distfdk/internal/device"
+	"distfdk/internal/experiments"
+	"distfdk/internal/forward"
+	"distfdk/internal/geometry"
+	"distfdk/internal/iterative"
+	"distfdk/internal/perfmodel"
+	"distfdk/internal/phantom"
+	"distfdk/internal/volume"
+)
+
+// scenario caching: synthesising projections dominates setup time, so the
+// benches share one scenario per (dataset, div, outN).
+var (
+	scenarioMu    sync.Mutex
+	scenarioCache = map[string]*experiments.Scenario{}
+)
+
+func scenario(b *testing.B, name string, div, outN int) *experiments.Scenario {
+	b.Helper()
+	key := name + string(rune(div)) + string(rune(outN))
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	if sc, ok := scenarioCache[key]; ok {
+		return sc
+	}
+	sc, err := experiments.BuildScenario(name, div, outN, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scenarioCache[key] = sc
+	return sc
+}
+
+// BenchmarkTable2Communication measures the distributed reconstruction
+// whose traffic counters populate Table 2's comparison (2-D decomposition,
+// segmented reduce).
+func BenchmarkTable2Communication(b *testing.B) {
+	sc := scenario(b, "tomo_00029", 24, 48)
+	plan, err := core.NewPlan(sc.Sys, 2, 2, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reduceBytes, h2dBytes int64
+	for i := 0; i < b.N; i++ {
+		sink, _ := core.NewVolumeSink(sc.Sys)
+		rep, err := core.RunDistributed(core.ClusterOptions{Plan: plan, Source: sc.Source, Output: sink})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduceBytes = rep.TotalReduceBytes()
+		h2dBytes = rep.TotalH2DBytes()
+	}
+	b.ReportMetric(float64(reduceBytes), "reduceB/op")
+	b.ReportMetric(float64(h2dBytes), "h2dB/op")
+}
+
+// BenchmarkTable5OutOfCore measures the streaming single-device
+// reconstruction under a device budget too small for the conventional
+// kernel (Table 5's scenario).
+func BenchmarkTable5OutOfCore(b *testing.B) {
+	sc := scenario(b, "tomo_00030", 8, 64)
+	plan, err := core.NewPlan(sc.Sys, 1, 1, core.DefaultBatchCount)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := (sc.Stack.Bytes() + 4*int64(64*64*64)) / 2
+	updates := int64(sc.Sys.NX) * int64(sc.Sys.NY) * int64(sc.Sys.NZ) * int64(sc.Sys.NP)
+	b.SetBytes(updates * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink, _ := core.NewVolumeSink(sc.Sys)
+		if _, err := core.ReconstructSingle(core.ReconOptions{
+			Plan: plan, Source: sc.Source, Device: device.New("bench", budget, 0), Sink: sink,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(updates)/1e9/b.Elapsed().Seconds()*float64(b.N), "GUPS")
+}
+
+// BenchmarkFig8SegmentedReduce measures the four-rank grouped
+// reconstruction behind Figure 8's slice.
+func BenchmarkFig8SegmentedReduce(b *testing.B) {
+	sc := scenario(b, "tomo_00030", 8, 48)
+	plan, err := core.NewPlan(sc.Sys, 1, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		sink, _ := core.NewVolumeSink(sc.Sys)
+		if _, err := core.RunDistributed(core.ClusterOptions{Plan: plan, Source: sc.Source, Output: sink}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10Pipeline measures the end-to-end pipelined flow whose
+// timeline is Figure 10.
+func BenchmarkFig10Pipeline(b *testing.B) {
+	sc := scenario(b, "tomo_00029", 24, 64)
+	plan, err := core.NewPlan(sc.Sys, 1, 1, core.DefaultBatchCount)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		sink, _ := core.NewVolumeSink(sc.Sys)
+		if _, err := core.ReconstructSingle(core.ReconOptions{
+			Plan: plan, Source: sc.Source, Device: device.New("bench", 0, 0), Sink: sink,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11CoffeeBean measures the coffee-bean reconstruction of
+// Figure 11a (stitched-geometry stand-in).
+func BenchmarkFig11CoffeeBean(b *testing.B) {
+	sc := scenario(b, "coffee-bean", 32, 64)
+	plan, err := core.NewPlan(sc.Sys, 1, 1, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		sink, _ := core.NewVolumeSink(sc.Sys)
+		if _, err := core.ReconstructSingle(core.ReconOptions{
+			Plan: plan, Source: sc.Source, Device: device.New("bench", 0, 0), Sink: sink,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// kernelBench runs one back-projection kernel for the Figure 12 roofline
+// comparison, reporting GUPS and GFLOP/s.
+func kernelBench(b *testing.B, streaming bool) {
+	sc := scenario(b, "tomo_00030", 8, 64)
+	sys := sc.Sys
+	mats := core.KernelMatrices(sys, 0, sys.NP)
+	dev := device.New("bench", 0, 0)
+	updates := int64(sys.NX) * int64(sys.NY) * int64(sys.NZ) * int64(sys.NP)
+	b.SetBytes(updates * 4)
+
+	if streaming {
+		ring, err := device.NewProjRing(dev, sys.NU, sys.NP, sys.NV)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ring.Close()
+		if err := ring.LoadRows(sc.Stack, sc.Stack.Rows()); err != nil {
+			b.Fatal(err)
+		}
+		rows := geometry.RowRange{Lo: 0, Hi: sys.NV}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			vol, _ := volume.New(sys.NX, sys.NY, sys.NZ)
+			if err := backproject.Streaming(dev, ring, mats, vol, rows); err != nil {
+				b.Fatal(err)
+			}
+		}
+	} else {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			vol, _ := volume.New(sys.NX, sys.NY, sys.NZ)
+			if err := backproject.Batch(dev, sc.Stack, mats, vol); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(float64(updates)/1e9/perOp, "GUPS")
+	b.ReportMetric(float64(updates)*backproject.FLOPPerUpdate/1e9/perOp, "GFLOPS")
+}
+
+// BenchmarkFig12RooflineStreaming measures our kernel (Figure 12 △).
+func BenchmarkFig12RooflineStreaming(b *testing.B) { kernelBench(b, true) }
+
+// BenchmarkFig12RooflineBatch measures the RTK-style kernel (Figure 12 ◦).
+func BenchmarkFig12RooflineBatch(b *testing.B) { kernelBench(b, false) }
+
+// simBench runs a paper-scale simulation sweep.
+func simBench(b *testing.B, weak bool) {
+	ds, err := dataset.ByName("coffee-bean")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, ngpus := range []int{16, 64, 256, 1024} {
+			full := *ds
+			full.NP = 6400
+			if weak {
+				full.NP = 6400 * ngpus / 1024
+				// Keep NP divisible by the fixed group width.
+				for full.NP%16 != 0 {
+					full.NP++
+				}
+			}
+			sys, err := full.System(4096)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan, err := core.NewPlan(sys, ngpus/16, 16, core.DefaultBatchCount)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := perfmodel.New(plan, perfmodel.ABCI())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := dessim.Simulate(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig13StrongScaling drives the strong-scaling simulation sweep.
+func BenchmarkFig13StrongScaling(b *testing.B) { simBench(b, false) }
+
+// BenchmarkFig14WeakScaling drives the weak-scaling simulation sweep.
+func BenchmarkFig14WeakScaling(b *testing.B) { simBench(b, true) }
+
+// BenchmarkFig15GUPS reports the simulated 1024-GPU throughput in the
+// paper's GUPS metric.
+func BenchmarkFig15GUPS(b *testing.B) {
+	ds, err := dataset.ByName("coffee-bean")
+	if err != nil {
+		b.Fatal(err)
+	}
+	full := *ds
+	full.NP = 6400
+	sys, err := full.System(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gups float64
+	for i := 0; i < b.N; i++ {
+		plan, err := core.NewPlan(sys, 64, 16, core.DefaultBatchCount)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := perfmodel.New(plan, perfmodel.ABCI())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := dessim.Simulate(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gups = perfmodel.GUPS(sys, res.Runtime)
+	}
+	b.ReportMetric(gups, "simGUPS")
+}
+
+// --- Ablation benches (DESIGN.md design choices) ---
+
+func distributedBench(b *testing.B, ng, nr int, hier bool, rpn int) {
+	sc := scenario(b, "tomo_00029", 24, 48)
+	plan, err := core.NewPlan(sc.Sys, ng, nr, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		sink, _ := core.NewVolumeSink(sc.Sys)
+		if _, err := core.RunDistributed(core.ClusterOptions{
+			Plan: plan, Source: sc.Source, Output: sink,
+			Hierarchical: hier, RanksPerNode: rpn,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationReduceSegmented: Ng=4 groups of 2 (segmented).
+func BenchmarkAblationReduceSegmented(b *testing.B) { distributedBench(b, 4, 2, false, 0) }
+
+// BenchmarkAblationReduceGlobal: one group of 8 (global collective).
+func BenchmarkAblationReduceGlobal(b *testing.B) { distributedBench(b, 1, 8, false, 0) }
+
+// BenchmarkAblationHierarchicalReduce: node-leader reduction (§4.4.2).
+func BenchmarkAblationHierarchicalReduce(b *testing.B) { distributedBench(b, 1, 8, true, 4) }
+
+// BenchmarkAblationDifferential compares Equation 6 differential loading
+// against full reloads through the experiment driver.
+func BenchmarkAblationDifferential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationDifferential(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRingDepth evaluates the Nc ↔ ring-depth trade-off.
+func BenchmarkAblationRingDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationRingDepth(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func pipelineBench(b *testing.B, serial bool) {
+	sc := scenario(b, "tomo_00029", 24, 64)
+	plan, err := core.NewPlan(sc.Sys, 1, 1, core.DefaultBatchCount)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		sink, _ := core.NewVolumeSink(sc.Sys)
+		if _, err := core.ReconstructSingle(core.ReconOptions{
+			Plan: plan, Source: sc.Source, Device: device.New("bench", 0, 0),
+			Sink: sink, DisablePipeline: serial,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIterativeSIRT measures one SIRT pass of the iterative
+// substrate (the extension experiments' workhorse).
+func BenchmarkIterativeSIRT(b *testing.B) {
+	sys := &geometry.System{
+		DSO: 250, DSD: 350,
+		NU: 36, NV: 30, DU: 0.6, DV: 0.6,
+		NP: 16,
+		NX: 20, NY: 20, NZ: 16, DX: 0.5, DY: 0.5, DZ: 0.5,
+	}
+	st, err := forward.Project(sys, phantom.UniformSphere(0.5, 1), 4.0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := iterative.Reconstruct(sys, st, iterative.Options{Iterations: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationFilterPlacementPipelined: CPU filtering overlapped with
+// back-projection (§4.2, this work).
+func BenchmarkAblationFilterPlacementPipelined(b *testing.B) { pipelineBench(b, false) }
+
+// BenchmarkAblationFilterPlacementSerial: stages serialised (the effect of
+// filtering on the device).
+func BenchmarkAblationFilterPlacementSerial(b *testing.B) { pipelineBench(b, true) }

@@ -1,0 +1,44 @@
+// Command fdkbench regenerates the tables and figures of the paper's
+// evaluation section. Each experiment id matches a paper artifact:
+//
+//	fdkbench -exp table5        # out-of-core single-device evaluation
+//	fdkbench -exp fig13         # strong scaling to 1024 simulated GPUs
+//	fdkbench -exp all -out out/ # everything, with images under out/
+//
+// Laptop-scale experiments execute the full reconstruction code path on
+// synthetic twins of the paper's datasets; paper-scale experiments run the
+// calibrated discrete-event simulator with the published ABCI parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"distfdk/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: "+strings.Join(experiments.Names(), ", ")+", or all")
+	out := flag.String("out", "bench_out", "directory for image/timeline artifacts")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "CPU parallelism")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	tables, err := experiments.Run(*exp, experiments.RunOptions{OutDir: *out, Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdkbench:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
+}

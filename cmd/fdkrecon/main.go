@@ -1,0 +1,245 @@
+// Command fdkrecon reconstructs a cone-beam CT volume with the streaming
+// FDK pipeline. Input is either a projection container written by
+// phantomgen/storage.WriteStack or a synthetic dataset generated on the
+// fly:
+//
+//	fdkrecon -dataset tomo_00030 -div 8 -n 64 -o vol.fbk -slice slice.pgm
+//	fdkrecon -in projections.fbp -dataset tomo_00030 -div 8 -n 64 -o vol.fbk
+//
+// Multi-rank mode (-groups/-ranks) runs the grouped decomposition with the
+// segmented reduction in-process.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+
+	"distfdk/internal/core"
+	"distfdk/internal/dataset"
+	"distfdk/internal/device"
+	"distfdk/internal/experiments"
+	"distfdk/internal/filter"
+	"distfdk/internal/geometry"
+	"distfdk/internal/iterative"
+	"distfdk/internal/pipeline"
+	"distfdk/internal/projection"
+	"distfdk/internal/storage"
+	"distfdk/internal/volume"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fdkrecon: ")
+
+	var (
+		dsName   = flag.String("dataset", "tomo_00030", "dataset geometry (see DESIGN.md registry)")
+		div      = flag.Int("div", 8, "detector/angle scale divisor for the synthetic twin")
+		outN     = flag.Int("n", 64, "output volume size n³")
+		inPath   = flag.String("in", "", "projection container (.fbp); empty synthesises the dataset's phantom")
+		outPath  = flag.String("o", "volume.fbk", "output volume file")
+		slice    = flag.String("slice", "", "optional central-slice PGM path")
+		window   = flag.String("window", "ram-lak", "ramp window: ram-lak, shepp-logan, cosine, hamming, hann")
+		groups   = flag.Int("groups", 1, "Ng rank groups")
+		ranks    = flag.Int("ranks", 1, "Nr ranks per group")
+		batches  = flag.Int("batches", core.DefaultBatchCount, "Nc slab batches")
+		memMB    = flag.Int64("devmem", 0, "device memory budget in MiB (0 = unlimited)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "CPU parallelism")
+		timeline = flag.Bool("timeline", false, "print the pipeline timeline (single-rank mode)")
+		zlo      = flag.Int("zlo", -1, "first slice of a Z-window (ROI) reconstruction; -1 = full volume")
+		znz      = flag.Int("znz", 0, "slice count of the Z-window (with -zlo)")
+		stats    = flag.Bool("stats", false, "print volume statistics")
+		algo     = flag.String("algo", "fdk", "reconstruction algorithm: fdk, sirt, ossart, mlem, osem")
+		iters    = flag.Int("iters", 10, "iterations for the iterative algorithms")
+	)
+	flag.Parse()
+
+	win, err := filter.ParseWindow(*window)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var source projection.Source
+	var sysFromScenario *experiments.Scenario
+	if *inPath != "" {
+		src, err := storage.OpenStack(*inPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer src.Close()
+		source = src
+	}
+	sc, err := experiments.BuildScenario(*dsName, *div, *outN, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sysFromScenario = sc
+	sys := sysFromScenario.Sys
+	if source == nil {
+		source = sc.Source
+	} else {
+		nu, np, nv := source.Dims()
+		if nu != sys.NU || np != sys.NP || nv != sys.NV {
+			log.Fatalf("input %dx%dx%d does not match %s/%d geometry %dx%dx%d",
+				nu, np, nv, *dsName, *div, sys.NU, sys.NP, sys.NV)
+		}
+	}
+
+	if *algo != "fdk" {
+		vol, err := runIterative(*algo, sys, source, *iters, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := vol.SaveRaw(*outPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("volume %s written to %s\n", vol.ShapeString(), *outPath)
+		if *slice != "" {
+			if err := vol.SavePGM(*slice, sys.NZ/2, 0, 0); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("central slice written to %s\n", *slice)
+		}
+		if *stats {
+			printStats(vol.Summarize())
+		}
+		return
+	}
+
+	if *zlo >= 0 {
+		vol, rep, err := core.ReconstructZWindow(core.ZWindowOptions{
+			Sys: sys, Source: source,
+			Device: device.New("roi", *memMB<<20, *workers),
+			Window: win, Z0: *zlo, NZ: *znz, Workers: *workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ROI slices [%d,%d) reconstructed in %d slabs (H2D %.1f MiB)\n",
+			*zlo, *zlo+*znz, rep.Slabs, float64(rep.Ledger.H2DBytes)/(1<<20))
+		if err := vol.SaveRaw(*outPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ROI volume %s written to %s\n", vol.ShapeString(), *outPath)
+		if *slice != "" {
+			if err := vol.SavePGM(*slice, vol.NZ/2, 0, 0); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("central ROI slice written to %s\n", *slice)
+		}
+		if *stats {
+			printStats(vol.Summarize())
+		}
+		return
+	}
+
+	plan, err := core.NewPlan(sys, *groups, *ranks, *batches)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sink, err := core.NewVolumeSink(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if plan.Ranks() == 1 {
+		tracer := pipeline.NewTracer()
+		rep, err := core.ReconstructSingle(core.ReconOptions{
+			Plan: plan, Source: source,
+			Device: device.New("local", *memMB<<20, *workers),
+			Window: win, Sink: sink, Tracer: tracer,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("reconstructed %d slabs in %v (H2D %.1f MiB, D2H %.1f MiB)\n",
+			rep.Slabs, rep.Elapsed.Round(1e6),
+			float64(rep.Ledger.H2DBytes)/(1<<20), float64(rep.Ledger.D2HBytes)/(1<<20))
+		if *timeline {
+			fmt.Print(tracer.RenderASCII([]string{"load", "filter", "backproject", "store"}, 100))
+		}
+	} else {
+		rep, err := core.RunDistributed(core.ClusterOptions{
+			Plan: plan, Source: source, Window: win,
+			DeviceMemBytes: *memMB << 20, Output: sink,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("reconstructed on %d ranks (%d groups × %d) in %v; reduce traffic %.1f MiB\n",
+			plan.Ranks(), *groups, *ranks, rep.Elapsed.Round(1e6),
+			float64(rep.TotalReduceBytes())/(1<<20))
+	}
+
+	if err := sink.V.SaveRaw(*outPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("volume %dx%dx%d written to %s\n", sys.NX, sys.NY, sys.NZ, *outPath)
+	if *slice != "" {
+		if err := sink.V.SavePGM(*slice, sys.NZ/2, 0, 0); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("central slice written to %s\n", *slice)
+	}
+	if *stats {
+		printStats(sink.V.Summarize())
+	}
+	dsFull, err := dataset.ByName(*dsName)
+	if err == nil {
+		fmt.Printf("geometry: %s (magnification %.2f)\n", dsFull.Description, dsFull.Magnification())
+	}
+}
+
+// runIterative reconstructs with one of the iterative algorithms. The
+// stack must be fully loadable (iterative methods need all angles every
+// pass).
+func runIterative(algo string, sys *geometry.System, source projection.Source, iters, workers int) (*volume.Volume, error) {
+	_, np, nv := source.Dims()
+	full, err := source.LoadRows(geometry.RowRange{Lo: 0, Hi: nv}, 0, np)
+	if err != nil {
+		return nil, err
+	}
+	opts := iterative.Options{Iterations: iters, NonNegative: true, Workers: workers,
+		Callback: func(it int, rel float64) bool {
+			fmt.Printf("  %s pass %2d: relative residual %.4f\n", algo, it, rel)
+			return true
+		}}
+	switch algo {
+	case "sirt":
+		res, err := iterative.Reconstruct(sys, full, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res.Volume, nil
+	case "ossart":
+		opts.Subsets = 4
+		res, err := iterative.Reconstruct(sys, full, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res.Volume, nil
+	case "mlem":
+		res, err := iterative.ReconstructMLEM(sys, full, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res.Volume, nil
+	case "osem":
+		opts.Subsets = 4
+		res, err := iterative.ReconstructMLEM(sys, full, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res.Volume, nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q (fdk, sirt, ossart, mlem, osem)", algo)
+}
+
+func printStats(s volume.Summary) {
+	fmt.Printf("stats: min %.4f, max %.4f, mean %.4f, std %.4f", s.Min, s.Max, s.Mean, s.Std)
+	if s.NaNOrInf > 0 {
+		fmt.Printf(", NON-FINITE VOXELS: %d", s.NaNOrInf)
+	}
+	fmt.Println()
+}

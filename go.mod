@@ -1,0 +1,3 @@
+module distfdk
+
+go 1.22

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"distfdk/internal/backproject"
+	"distfdk/internal/device"
+	"distfdk/internal/filter"
+	"distfdk/internal/geometry"
+	"distfdk/internal/projection"
+	"distfdk/internal/volume"
+)
+
+// ZWindowOptions configures a region-of-interest reconstruction of the
+// slice window [Z0, Z0+NZ) of the full volume, without reconstructing the
+// rest. Because the decomposition already reconstructs arbitrary Z slabs
+// from their ComputeAB detector-row ranges, an ROI costs exactly its share
+// of the full problem — the "use fewer resources for a preview" workflow
+// the paper's discussion (§6.3) motivates for parameter tuning.
+type ZWindowOptions struct {
+	Sys    *geometry.System
+	Source projection.Source
+	Device *device.Device
+	Window filter.Window
+	// Z0 and NZ select the slice window in global volume coordinates.
+	Z0, NZ int
+	// SlabSlices bounds the streaming slab height (0 picks NZ/8,
+	// minimum 1).
+	SlabSlices int
+	// Workers bounds the filtering parallelism.
+	Workers int
+}
+
+// ReconstructZWindow reconstructs only the requested slice window. The
+// result is a slab positioned at Z0 whose voxels are identical to the same
+// window of a full reconstruction.
+func ReconstructZWindow(opts ZWindowOptions) (*volume.Volume, *ReconReport, error) {
+	sys := opts.Sys
+	if sys == nil || opts.Source == nil || opts.Device == nil {
+		return nil, nil, fmt.Errorf("core: Sys, Source and Device are required")
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if opts.Z0 < 0 || opts.NZ <= 0 || opts.Z0+opts.NZ > sys.NZ {
+		return nil, nil, fmt.Errorf("core: Z window [%d,%d) outside [0,%d)", opts.Z0, opts.Z0+opts.NZ, sys.NZ)
+	}
+	nb := opts.SlabSlices
+	if nb <= 0 {
+		nb = max(opts.NZ/DefaultBatchCount, 1)
+	}
+	fdk, err := NewFilter(sys, opts.Window)
+	if err != nil {
+		return nil, nil, err
+	}
+	parker, err := NewParker(sys)
+	if err != nil {
+		return nil, nil, err
+	}
+	mats := KernelMatrices(sys, 0, sys.NP)
+
+	// Ring depth: the widest slab row range in the window.
+	depth := 0
+	for z := opts.Z0; z < opts.Z0+opts.NZ; z += nb {
+		end := min(z+nb, opts.Z0+opts.NZ)
+		if l := sys.ComputeAB(z, end).Len(); l > depth {
+			depth = l
+		}
+	}
+	ring, err := device.NewProjRing(opts.Device, sys.NU, sys.NP, depth)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ring.Close()
+
+	out, err := volume.NewSlab(sys.NX, sys.NY, opts.NZ, opts.Z0)
+	if err != nil {
+		return nil, nil, err
+	}
+	before := opts.Device.Snapshot()
+	rep := &ReconReport{}
+	prev := geometry.RowRange{}
+	for z := opts.Z0; z < opts.Z0+opts.NZ; z += nb {
+		end := min(z+nb, opts.Z0+opts.NZ)
+		rows := sys.ComputeAB(z, end)
+		diff := geometry.DifferentialRows(prev, rows)
+		if !prev.IsEmpty() && rows.Lo >= prev.Hi {
+			ring.Reset()
+		} else {
+			ring.Release(rows.Lo)
+		}
+		if !diff.IsEmpty() {
+			st, err := opts.Source.LoadRows(diff, 0, sys.NP)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := applyParker(parker, st); err != nil {
+				return nil, nil, err
+			}
+			count := st.NV * st.NP
+			if err := fdk.FilterRows(st.Data, count, func(i int) int { return st.V0 + i/st.NP }, opts.Workers); err != nil {
+				return nil, nil, err
+			}
+			if err := ring.LoadRows(st, st.Rows()); err != nil {
+				return nil, nil, err
+			}
+		}
+		prev = rows
+		slab, err := volume.NewSlab(sys.NX, sys.NY, end-z, z)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := backproject.Streaming(opts.Device, ring, mats, slab, rows); err != nil {
+			return nil, nil, err
+		}
+		opts.Device.RecordD2H(slab.Bytes())
+		if err := out.CopySlabFrom(slab); err != nil {
+			return nil, nil, err
+		}
+		rep.Slabs++
+	}
+	rep.Ledger = opts.Device.Snapshot().Sub(before)
+	return out, rep, nil
+}

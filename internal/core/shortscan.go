@@ -1,0 +1,32 @@
+package core
+
+import (
+	"distfdk/internal/filter"
+	"distfdk/internal/geometry"
+	"distfdk/internal/projection"
+)
+
+// NewParker builds the short-scan redundancy weights for a system, or
+// returns nil for a full 360° scan where no weighting applies. The weight
+// table is indexed by global projection index, so every rank can share it
+// regardless of its Np window.
+func NewParker(sys *geometry.System) (*filter.Parker, error) {
+	if !sys.IsShortScan() {
+		return nil, nil
+	}
+	angles := make([]float64, sys.NP)
+	for p := range angles {
+		angles[p] = sys.Angle(p)
+	}
+	return filter.NewParker(sys.NU, sys.DU, sys.DSD, sys.SigmaU, angles, sys.AngleStep()*float64(sys.NP))
+}
+
+// applyParker weights a freshly loaded stack's rows by their global
+// projection index. A nil Parker is a no-op (full scan).
+func applyParker(pk *filter.Parker, st *projection.Stack) error {
+	if pk == nil || st == nil {
+		return nil
+	}
+	count := st.NV * st.NP
+	return pk.ApplyRows(st.Data, count, func(i int) int { return st.P0 + i%st.NP })
+}

@@ -1,0 +1,163 @@
+// Package dessim simulates the distributed FBP pipeline at paper scale
+// (up to 1024 devices) in virtual time. Where the analytical model of
+// Equation 17 assumes perfect overlap and an even 1/Ng share of the
+// parallel filesystem, the simulator executes the actual pipeline
+// dependency graph — stage s of batch c starts only after stage s−1 of c
+// and stage s of c−1 — and arbitrates the shared PFS store server FCFS
+// across all groups. The gap between the two is exactly the
+// measured-vs-projected gap the paper shows in Figures 13–14, so the
+// simulator provides the "Measured" series for the paper-scale experiments
+// that cannot run on this machine.
+package dessim
+
+import (
+	"fmt"
+	"sort"
+
+	"distfdk/internal/perfmodel"
+)
+
+// VSpan is one stage execution in virtual time.
+type VSpan struct {
+	Stage      string
+	Group      int
+	Batch      int
+	Start, End float64 // virtual seconds
+}
+
+// Result summarises one simulated run.
+type Result struct {
+	// Runtime is the virtual makespan: the completion of the last store.
+	Runtime float64
+	// GroupFinish is each group's final store completion.
+	GroupFinish []float64
+	// StoreBusy is the total time the shared PFS server was busy.
+	StoreBusy float64
+	// StoreWait is the total time store requests spent queued behind
+	// other groups — the contention the analytical model ignores.
+	StoreWait float64
+	// Spans holds the per-stage timeline (groups × batches × stages).
+	Spans []VSpan
+}
+
+// storeRequest is a pending write to the shared PFS.
+type storeRequest struct {
+	group, batch int
+	ready        float64
+	duration     float64
+}
+
+// Simulate runs the virtual-time pipeline for the model's plan. Every
+// group is represented by its per-batch stage durations (all ranks of a
+// group advance in lockstep — they process the same slab sizes and
+// synchronise at the segmented reduce, so the group leader's timeline is
+// the group's timeline).
+func Simulate(m *perfmodel.Model) (*Result, error) {
+	if m == nil {
+		return nil, fmt.Errorf("dessim: model is required")
+	}
+	p := m.Plan
+	res := &Result{GroupFinish: make([]float64, p.NGroups)}
+	var requests []storeRequest
+
+	for g := 0; g < p.NGroups; g++ {
+		var cpuDone, gpuDone, redDone float64
+		for c := 0; c < p.BatchCount; c++ {
+			b := m.Batch(g, c)
+			if b == (perfmodel.StageTimes{}) {
+				continue
+			}
+			cpuStart := cpuDone
+			cpuDone = cpuStart + b.CPU()
+			gpuStart := maxf(gpuDone, cpuDone)
+			gpuDone = gpuStart + b.GPU()
+			redStart := maxf(redDone, gpuDone)
+			redDone = redStart + b.Reduce
+			res.Spans = append(res.Spans,
+				VSpan{"cpu", g, c, cpuStart, cpuDone},
+				VSpan{"gpu", g, c, gpuStart, gpuDone},
+				VSpan{"reduce", g, c, redStart, redDone},
+			)
+			// Store duration at full aggregate bandwidth; sharing
+			// happens through FCFS arbitration below. The model's
+			// Store field assumes a 1/Ng share, so rescale.
+			requests = append(requests, storeRequest{
+				group: g, batch: c, ready: redDone,
+				duration: b.Store / float64(p.NGroups),
+			})
+		}
+		res.GroupFinish[g] = redDone // updated after store arbitration
+	}
+
+	// FCFS arbitration of the shared PFS server.
+	sort.Slice(requests, func(i, j int) bool {
+		if requests[i].ready != requests[j].ready {
+			return requests[i].ready < requests[j].ready
+		}
+		if requests[i].group != requests[j].group {
+			return requests[i].group < requests[j].group
+		}
+		return requests[i].batch < requests[j].batch
+	})
+	var serverFree float64
+	for _, r := range requests {
+		start := maxf(r.ready, serverFree)
+		end := start + r.duration
+		res.StoreWait += start - r.ready
+		res.StoreBusy += r.duration
+		serverFree = end
+		res.Spans = append(res.Spans, VSpan{"store", r.group, r.batch, start, end})
+		if end > res.GroupFinish[r.group] {
+			res.GroupFinish[r.group] = end
+		}
+		if end > res.Runtime {
+			res.Runtime = end
+		}
+	}
+	// A degenerate plan with no work still has zero runtime.
+	for _, f := range res.GroupFinish {
+		if f > res.Runtime {
+			res.Runtime = f
+		}
+	}
+	return res, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ScalingPoint is one (Ngpus, runtime) sample of a scaling sweep.
+type ScalingPoint struct {
+	NGPUs     int
+	Measured  float64 // simulated runtime
+	Projected float64 // Equation 17
+	GUPS      float64
+}
+
+// StrongScaling sweeps device counts for a fixed problem, reproducing the
+// Figure 13 series. nr is the fixed group width Nr; counts are the GPU
+// totals to evaluate (each must be a multiple of nr).
+func StrongScaling(plan func(ngpus int) (*perfmodel.Model, error), counts []int) ([]ScalingPoint, error) {
+	var out []ScalingPoint
+	for _, n := range counts {
+		m, err := plan(n)
+		if err != nil {
+			return nil, fmt.Errorf("dessim: ngpus=%d: %w", n, err)
+		}
+		sim, err := Simulate(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ScalingPoint{
+			NGPUs:     n,
+			Measured:  sim.Runtime,
+			Projected: m.WorstRuntime(),
+			GUPS:      perfmodel.GUPS(m.Plan.Sys, sim.Runtime),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package dessim
+
+import (
+	"math"
+	"testing"
+
+	"distfdk/internal/core"
+	"distfdk/internal/geometry"
+	"distfdk/internal/perfmodel"
+)
+
+func coffeeBean4096() *geometry.System {
+	return &geometry.System{
+		DSO: 16, DSD: 151.7,
+		NU: 3928, NV: 1998, DU: 0.127, DV: 0.127,
+		NP: 6400,
+		NX: 4096, NY: 4096, NZ: 4096,
+		DX: 0.003, DY: 0.003, DZ: 0.003,
+	}
+}
+
+func modelAt(t testing.TB, sys *geometry.System, ngpus, nr int) *perfmodel.Model {
+	t.Helper()
+	plan, err := core.NewPlan(sys, ngpus/nr, nr, core.DefaultBatchCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := perfmodel.New(plan, perfmodel.ABCI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSimulateBasicInvariants(t *testing.T) {
+	m := modelAt(t, coffeeBean4096(), 64, 16)
+	res, err := Simulate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runtime <= 0 {
+		t.Fatal("non-positive runtime")
+	}
+	// Spans: 4 per (group, non-empty batch).
+	wantSpans := m.Plan.NGroups * m.Plan.BatchCount * 4
+	if len(res.Spans) != wantSpans {
+		t.Fatalf("spans %d, want %d", len(res.Spans), wantSpans)
+	}
+	// Dependency order within each (group, batch): cpu ≤ gpu ≤ reduce ≤ store.
+	byKey := map[[3]interface{}]VSpan{}
+	for _, s := range res.Spans {
+		byKey[[3]interface{}{s.Stage, s.Group, s.Batch}] = s
+		if s.End < s.Start {
+			t.Fatalf("span ends before it starts: %+v", s)
+		}
+	}
+	for g := 0; g < m.Plan.NGroups; g++ {
+		for c := 0; c < m.Plan.BatchCount; c++ {
+			cpu := byKey[[3]interface{}{"cpu", g, c}]
+			gpu := byKey[[3]interface{}{"gpu", g, c}]
+			red := byKey[[3]interface{}{"reduce", g, c}]
+			sto := byKey[[3]interface{}{"store", g, c}]
+			if gpu.Start < cpu.End || red.Start < gpu.End || sto.Start < red.End {
+				t.Fatalf("g=%d c=%d: dependency violated", g, c)
+			}
+			if c > 0 {
+				prev := byKey[[3]interface{}{"gpu", g, c - 1}]
+				if gpu.Start < prev.End {
+					t.Fatalf("g=%d c=%d: gpu overlaps previous batch", g, c)
+				}
+			}
+		}
+	}
+	// Runtime is the max group finish.
+	maxFinish := 0.0
+	for _, f := range res.GroupFinish {
+		if f > maxFinish {
+			maxFinish = f
+		}
+	}
+	if res.Runtime != maxFinish {
+		t.Fatalf("runtime %g != max finish %g", res.Runtime, maxFinish)
+	}
+	if _, err := Simulate(nil); err == nil {
+		t.Error("expected nil-model error")
+	}
+}
+
+// The PFS server is sequential: total busy time equals the sum of store
+// durations, and store spans never overlap.
+func TestStoreServerIsSequential(t *testing.T) {
+	m := modelAt(t, coffeeBean4096(), 256, 16)
+	res, err := Simulate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stores []VSpan
+	for _, s := range res.Spans {
+		if s.Stage == "store" {
+			stores = append(stores, s)
+		}
+	}
+	for i := 1; i < len(stores); i++ {
+		// Sorted by service order in the span list.
+		if stores[i].Start < stores[i-1].End-1e-9 {
+			t.Fatalf("store spans overlap: %+v then %+v", stores[i-1], stores[i])
+		}
+	}
+	var sum float64
+	for _, s := range stores {
+		sum += s.End - s.Start
+	}
+	if math.Abs(sum-res.StoreBusy) > 1e-9 {
+		t.Fatalf("store busy %g != span sum %g", res.StoreBusy, sum)
+	}
+}
+
+// Figure 13 shape: strong scaling improves with GPUs and flattens at high
+// counts; simulated ("measured") runtime is never better than the
+// perfect-overlap projection by more than numerical noise.
+func TestStrongScalingShape(t *testing.T) {
+	sys := coffeeBean4096()
+	counts := []int{16, 32, 64, 128, 256, 512, 1024}
+	points, err := StrongScaling(func(n int) (*perfmodel.Model, error) {
+		plan, err := core.NewPlan(sys, n/16, 16, core.DefaultBatchCount)
+		if err != nil {
+			return nil, err
+		}
+		return perfmodel.New(plan, perfmodel.ABCI())
+	}, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range points {
+		if pt.Measured <= 0 || pt.Projected <= 0 {
+			t.Fatalf("point %d: %+v", i, pt)
+		}
+		// The simulation tracks the analytical projection closely:
+		// FCFS bandwidth sharing can beat the even-share assumption
+		// by a few percent, contention can cost tens of percent.
+		if ratio := pt.Measured / pt.Projected; ratio < 0.5 || ratio > 3 {
+			t.Fatalf("ngpus=%d: simulated %g vs projection %g (ratio %.2f)", pt.NGPUs, pt.Measured, pt.Projected, ratio)
+		}
+		if i > 0 && pt.Measured >= points[i-1].Measured {
+			t.Fatalf("ngpus=%d: no improvement (%g after %g)", pt.NGPUs, pt.Measured, points[i-1].Measured)
+		}
+	}
+	early := points[0].Measured / points[1].Measured
+	late := points[len(points)-2].Measured / points[len(points)-1].Measured
+	if early < 1.5 || late >= early {
+		t.Fatalf("scaling shape wrong: early speedup %.2f, late %.2f", early, late)
+	}
+	// GUPS grows with device count (Figure 15 shape).
+	if points[len(points)-1].GUPS <= points[0].GUPS {
+		t.Fatal("GUPS did not grow with device count")
+	}
+}
+
+// Weak scaling (Figure 14): Np grows with the device count, runtime stays
+// near the store-bandwidth plateau.
+func TestWeakScalingPlateau(t *testing.T) {
+	var runtimes []float64
+	for _, ngpus := range []int{64, 128, 256, 512, 1024} {
+		sys := coffeeBean4096()
+		sys.NP = 6400 * ngpus / 1024
+		nr := ngpus / 64
+		m := modelAt(t, sys, ngpus, nr)
+		res, err := Simulate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runtimes = append(runtimes, res.Runtime)
+	}
+	lo, hi := runtimes[0], runtimes[0]
+	for _, r := range runtimes {
+		lo = math.Min(lo, r)
+		hi = math.Max(hi, r)
+	}
+	// "Basically constant": within 2.5× across a 16× device range
+	// (the paper's Figure 14 spans ~9s→15s ≈ 1.7×).
+	if hi/lo > 2.5 {
+		t.Fatalf("weak scaling not flat: runtimes %v", runtimes)
+	}
+	// And the volume store traffic bounds the plateau from below:
+	// storing 4096³ floats at 28.5 GB/s takes ~9.6s.
+	storeFloor := 4.0 * 4096 * 4096 * 4096 / perfmodel.ABCI().BWStore
+	if runtimes[len(runtimes)-1] < storeFloor {
+		t.Fatalf("runtime %g below the store-bandwidth floor %g", runtimes[len(runtimes)-1], storeFloor)
+	}
+}
+
+// Contention accounting: with many groups hammering one PFS server, the
+// simulator must report queueing delay that the analytical model misses.
+func TestStoreContentionReported(t *testing.T) {
+	m := modelAt(t, coffeeBean4096(), 1024, 8) // 128 groups
+	res, err := Simulate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StoreWait <= 0 {
+		t.Fatal("expected store queueing at 128 groups")
+	}
+}

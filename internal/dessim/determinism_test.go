@@ -1,0 +1,75 @@
+package dessim
+
+import (
+	"testing"
+
+	"distfdk/internal/core"
+	"distfdk/internal/perfmodel"
+)
+
+// The simulator must be perfectly deterministic: two runs of the same
+// model produce identical spans, runtimes and contention accounting —
+// the property that makes simulated experiment rows reproducible.
+func TestSimulateDeterministic(t *testing.T) {
+	m := modelAt(t, coffeeBean4096(), 128, 16)
+	a, err := Simulate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Runtime != b.Runtime || a.StoreBusy != b.StoreBusy || a.StoreWait != b.StoreWait {
+		t.Fatalf("aggregate results differ: %+v vs %+v", a, b)
+	}
+	if len(a.Spans) != len(b.Spans) {
+		t.Fatalf("span counts differ: %d vs %d", len(a.Spans), len(b.Spans))
+	}
+	for i := range a.Spans {
+		if a.Spans[i] != b.Spans[i] {
+			t.Fatalf("span %d differs: %+v vs %+v", i, a.Spans[i], b.Spans[i])
+		}
+	}
+}
+
+// Faster parameters can only help: uniformly scaling every rate up must
+// not increase the simulated runtime.
+func TestSimulateMonotoneInParameters(t *testing.T) {
+	sys := coffeeBean4096()
+	plan, err := core.NewPlan(sys, 8, 16, core.DefaultBatchCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := perfmodel.ABCI()
+	slow, err := perfmodel.New(plan, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastParams := base
+	fastParams.BWLoad *= 2
+	fastParams.BWStore *= 2
+	fastParams.THFilter *= 2
+	fastParams.THBP *= 2
+	fastParams.THReduce *= 2
+	fastParams.BWPCI *= 2
+	fast, err := perfmodel.New(plan, fastParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Simulate(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Simulate(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Runtime >= rs.Runtime {
+		t.Fatalf("doubled rates did not reduce runtime: %g vs %g", rf.Runtime, rs.Runtime)
+	}
+	// Exactly 2× faster, in fact: every duration halves.
+	if ratio := rs.Runtime / rf.Runtime; ratio < 1.99 || ratio > 2.01 {
+		t.Fatalf("uniform 2x speedup gave ratio %.3f", ratio)
+	}
+}

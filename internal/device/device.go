@@ -1,0 +1,148 @@
+// Package device simulates the accelerator on which the back-projection
+// kernel runs. The paper's kernels execute on V100/A100 GPUs with explicit
+// device-memory management (Listing 1, Algorithm 3); here the "device" is a
+// CPU worker pool with a byte-accurate memory budget, a host↔device transfer
+// ledger, and the ring-buffered projection row store whose modular
+// addressing (`Z = z mod H`, the split cudaMemcpy3D of Algorithm 3) is what
+// gives the paper its streaming/out-of-core capability. Keeping the budget
+// and ledger exact lets the out-of-core experiments (Table 5) reproduce the
+// paper's capacity cliffs — e.g. the RTK baseline failing beyond 8 GB on a
+// 16 GB device — without GPU hardware.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// ErrOutOfMemory is reported when an allocation would exceed the device's
+// memory capacity — the condition that makes batch-decomposition frameworks
+// reject large volumes (Table 5's ✗ entries).
+var ErrOutOfMemory = errors.New("device: out of device memory")
+
+// Ledger counts the traffic and work a device has performed. All fields are
+// byte/operation totals since construction; Ledger values are retrieved by
+// copy and may be diffed across phases.
+type Ledger struct {
+	// H2DBytes and D2HBytes are host→device / device→host transfer
+	// volumes.
+	H2DBytes, D2HBytes int64
+	// H2DOps and D2HOps count discrete transfer operations (an
+	// Algorithm 3 wrap-around load counts as two, exactly like its two
+	// cudaMemcpy3D calls).
+	H2DOps, D2HOps int64
+	// KernelLaunches counts back-projection kernel invocations.
+	KernelLaunches int64
+	// VoxelUpdates counts voxel×projection accumulation steps, the
+	// quantity behind the paper's GUPS metric.
+	VoxelUpdates int64
+}
+
+// Device models one accelerator.
+type Device struct {
+	// Name labels the device in reports ("v100-sim", …).
+	Name string
+	// MemBytes is the device memory capacity; 0 means unlimited.
+	MemBytes int64
+	// Workers is the kernel execution width (goroutines); 0 means
+	// GOMAXPROCS.
+	Workers int
+
+	allocated atomic.Int64
+
+	h2dBytes       atomic.Int64
+	d2hBytes       atomic.Int64
+	h2dOps         atomic.Int64
+	d2hOps         atomic.Int64
+	kernelLaunches atomic.Int64
+	voxelUpdates   atomic.Int64
+}
+
+// New returns a device with the given capacity (0 = unlimited) and worker
+// count (0 = GOMAXPROCS).
+func New(name string, memBytes int64, workers int) *Device {
+	return &Device{Name: name, MemBytes: memBytes, Workers: workers}
+}
+
+// WorkerCount returns the effective kernel execution width.
+func (d *Device) WorkerCount() int {
+	if d.Workers > 0 {
+		return d.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Alloc reserves n bytes of device memory.
+func (d *Device) Alloc(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("device: negative allocation %d", n)
+	}
+	if new := d.allocated.Add(n); d.MemBytes > 0 && new > d.MemBytes {
+		d.allocated.Add(-n)
+		return fmt.Errorf("%w: need %d, used %d of %d", ErrOutOfMemory, n, new-n, d.MemBytes)
+	}
+	return nil
+}
+
+// Free releases n bytes of device memory.
+func (d *Device) Free(n int64) {
+	if d.allocated.Add(-n) < 0 {
+		panic("device: negative allocation balance")
+	}
+}
+
+// Allocated returns the currently reserved bytes.
+func (d *Device) Allocated() int64 { return d.allocated.Load() }
+
+// RecordH2D accounts a host→device transfer of n bytes in ops operations.
+func (d *Device) RecordH2D(n int64, ops int64) {
+	d.h2dBytes.Add(n)
+	d.h2dOps.Add(ops)
+}
+
+// RecordD2H accounts a device→host transfer of n bytes.
+func (d *Device) RecordD2H(n int64) {
+	d.d2hBytes.Add(n)
+	d.d2hOps.Add(1)
+}
+
+// RecordKernel accounts a kernel launch performing updates voxel×projection
+// accumulations.
+func (d *Device) RecordKernel(updates int64) {
+	d.kernelLaunches.Add(1)
+	d.voxelUpdates.Add(updates)
+}
+
+// Snapshot returns the current ledger totals.
+func (d *Device) Snapshot() Ledger {
+	return Ledger{
+		H2DBytes:       d.h2dBytes.Load(),
+		D2HBytes:       d.d2hBytes.Load(),
+		H2DOps:         d.h2dOps.Load(),
+		D2HOps:         d.d2hOps.Load(),
+		KernelLaunches: d.kernelLaunches.Load(),
+		VoxelUpdates:   d.voxelUpdates.Load(),
+	}
+}
+
+// Sub returns l − o field-wise, for per-phase accounting.
+func (l Ledger) Sub(o Ledger) Ledger {
+	return Ledger{
+		H2DBytes: l.H2DBytes - o.H2DBytes, D2HBytes: l.D2HBytes - o.D2HBytes,
+		H2DOps: l.H2DOps - o.H2DOps, D2HOps: l.D2HOps - o.D2HOps,
+		KernelLaunches: l.KernelLaunches - o.KernelLaunches,
+		VoxelUpdates:   l.VoxelUpdates - o.VoxelUpdates,
+	}
+}
+
+// Presets matching the paper's evaluation hardware. Capacities are the
+// nominal device memory sizes; the usable projection-ring budget is
+// whatever remains after the slab allocation, exactly as on real hardware.
+const (
+	// V100MemBytes is the 16 GB of the ABCI V100s.
+	V100MemBytes = 16 << 30
+	// A100MemBytes is the 40 GB of the A100 nodes in Table 5.
+	A100MemBytes = 40 << 30
+)

@@ -1,0 +1,264 @@
+package device
+
+import (
+	"errors"
+	"testing"
+
+	"distfdk/internal/geometry"
+	"distfdk/internal/projection"
+)
+
+func TestAllocFreeBudget(t *testing.T) {
+	d := New("test", 1000, 1)
+	if err := d.Alloc(600); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Alloc(600); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+	if d.Allocated() != 600 {
+		t.Fatalf("failed alloc must not leak: allocated=%d", d.Allocated())
+	}
+	d.Free(600)
+	if err := d.Alloc(1000); err != nil {
+		t.Fatalf("full-capacity alloc after free: %v", err)
+	}
+	if err := d.Alloc(-1); err == nil {
+		t.Error("expected error for negative allocation")
+	}
+}
+
+func TestUnlimitedDevice(t *testing.T) {
+	d := New("big", 0, 0)
+	if err := d.Alloc(1 << 60); err != nil {
+		t.Fatalf("unlimited device rejected allocation: %v", err)
+	}
+	if d.WorkerCount() <= 0 {
+		t.Fatal("WorkerCount must be positive")
+	}
+}
+
+func TestLedgerAccounting(t *testing.T) {
+	d := New("test", 0, 2)
+	d.RecordH2D(100, 1)
+	d.RecordH2D(50, 2)
+	d.RecordD2H(30)
+	d.RecordKernel(7)
+	d.RecordKernel(5)
+	l := d.Snapshot()
+	if l.H2DBytes != 150 || l.H2DOps != 3 || l.D2HBytes != 30 || l.D2HOps != 1 {
+		t.Fatalf("transfer ledger wrong: %+v", l)
+	}
+	if l.KernelLaunches != 2 || l.VoxelUpdates != 12 {
+		t.Fatalf("kernel ledger wrong: %+v", l)
+	}
+	base := Ledger{H2DBytes: 100, H2DOps: 1}
+	diff := l.Sub(base)
+	if diff.H2DBytes != 50 || diff.H2DOps != 2 || diff.KernelLaunches != 2 {
+		t.Fatalf("Sub wrong: %+v", diff)
+	}
+}
+
+// hostStack builds a full-detector stack with encoded values.
+func hostStack(nu, np, nv int) *projection.Stack {
+	s, _ := projection.NewStack(nu, np, nv)
+	for v := 0; v < nv; v++ {
+		for p := 0; p < np; p++ {
+			for u := 0; u < nu; u++ {
+				s.Set(v, p, u, float32(v*10000+p*100+u))
+			}
+		}
+	}
+	return s
+}
+
+func TestRingBasicLoadAndRead(t *testing.T) {
+	d := New("test", 0, 1)
+	host := hostStack(4, 3, 32)
+	r, err := NewProjRing(d, 4, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.LoadRows(host, geometry.RowRange{Lo: 2, Hi: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Valid() != (geometry.RowRange{Lo: 2, Hi: 8}) {
+		t.Fatalf("valid = %v", r.Valid())
+	}
+	row, err := r.Row(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[2] != float32(5*10000+1*100+2) {
+		t.Fatalf("row content wrong: %v", row)
+	}
+	if _, err := r.Row(1, 0); err == nil {
+		t.Error("expected not-resident error")
+	}
+	if _, err := r.Row(5, 9); err == nil {
+		t.Error("expected projection bounds error")
+	}
+	l := d.Snapshot()
+	if l.H2DBytes != int64(6*3*4*4) || l.H2DOps != 1 {
+		t.Fatalf("ledger after load: %+v", l)
+	}
+}
+
+func TestRingDifferentialAndWrap(t *testing.T) {
+	d := New("test", 0, 1)
+	host := hostStack(2, 2, 64)
+	r, err := NewProjRing(d, 2, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slab schedule: ranges [0,6) → [4,10) → [8,14); differentials
+	// [0,6), [6,10), [10,14). The second load wraps (slots 6,7,0,1).
+	if err := r.LoadRows(host, geometry.RowRange{Lo: 0, Hi: 6}); err != nil {
+		t.Fatal(err)
+	}
+	r.Release(4)
+	pre := d.Snapshot()
+	if err := r.LoadRows(host, geometry.RowRange{Lo: 6, Hi: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if ops := d.Snapshot().Sub(pre).H2DOps; ops != 2 {
+		t.Fatalf("wrapping load recorded %d ops, want 2 (split copy)", ops)
+	}
+	r.Release(8)
+	if err := r.LoadRows(host, geometry.RowRange{Lo: 10, Hi: 14}); err != nil {
+		t.Fatal(err)
+	}
+	// All rows of the final slab range must be resident and correct.
+	for v := 8; v < 14; v++ {
+		for p := 0; p < 2; p++ {
+			row, err := r.Row(v, p)
+			if err != nil {
+				t.Fatalf("row %d: %v", v, err)
+			}
+			if row[1] != float32(v*10000+p*100+1) {
+				t.Fatalf("row %d projection %d corrupted: %v", v, p, row)
+			}
+		}
+	}
+	// Total H2D bytes = 14 rows exactly once.
+	if got := d.Snapshot().H2DBytes; got != int64(14*2*2*4) {
+		t.Fatalf("total H2D bytes %d, want each row shipped once (%d)", got, 14*2*2*4)
+	}
+}
+
+func TestRingRejectsScheduleBugs(t *testing.T) {
+	d := New("test", 0, 1)
+	host := hostStack(2, 2, 64)
+	r, _ := NewProjRing(d, 2, 2, 8)
+	if err := r.LoadRows(host, geometry.RowRange{Lo: 0, Hi: 6}); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping load without Release.
+	if err := r.LoadRows(host, geometry.RowRange{Lo: 4, Hi: 8}); err == nil {
+		t.Error("expected overlap error")
+	}
+	// Gap.
+	if err := r.LoadRows(host, geometry.RowRange{Lo: 8, Hi: 10}); err == nil {
+		t.Error("expected gap error")
+	}
+	// Exceeding depth without Release.
+	if err := r.LoadRows(host, geometry.RowRange{Lo: 6, Hi: 12}); err == nil {
+		t.Error("expected depth error")
+	}
+	// Wrong host stack shape.
+	wrong := hostStack(3, 2, 64)
+	if err := r.LoadRows(wrong, geometry.RowRange{Lo: 6, Hi: 7}); err == nil {
+		t.Error("expected stack shape error")
+	}
+	// Rows not present in the host stack.
+	partial, _ := host.ExtractRows(geometry.RowRange{Lo: 0, Hi: 4})
+	if err := r.LoadRows(partial, geometry.RowRange{Lo: 6, Hi: 8}); err == nil {
+		t.Error("expected missing-rows error")
+	}
+	// Empty load is a no-op.
+	if err := r.LoadRows(host, geometry.RowRange{}); err != nil {
+		t.Errorf("empty load: %v", err)
+	}
+}
+
+func TestRingChargesDeviceMemory(t *testing.T) {
+	d := New("small", 1000, 1)
+	if _, err := NewProjRing(d, 10, 10, 10); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected OOM for 4000-byte ring on 1000-byte device, got %v", err)
+	}
+	r, err := NewProjRing(d, 5, 5, 2) // 200 bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Allocated() != 200 {
+		t.Fatalf("allocated %d, want 200", d.Allocated())
+	}
+	r.Close()
+	if d.Allocated() != 0 {
+		t.Fatalf("Close did not free memory: %d", d.Allocated())
+	}
+	r.Close() // idempotent
+}
+
+func TestNewProjRingValidation(t *testing.T) {
+	d := New("test", 0, 1)
+	for _, dims := range [][3]int{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+		if _, err := NewProjRing(d, dims[0], dims[1], dims[2]); err == nil {
+			t.Errorf("dims %v: expected error", dims)
+		}
+	}
+}
+
+// Long streaming schedule: walk a realistic slab sequence from geometry,
+// loading only differentials, and verify every required row is readable
+// with the right contents at every step — the end-to-end ring invariant.
+func TestRingStreamingSchedule(t *testing.T) {
+	sys := &geometry.System{
+		DSO: 250, DSD: 350,
+		NU: 8, NV: 96, DU: 0.5, DV: 0.5,
+		NP: 4,
+		NX: 48, NY: 48, NZ: 64, DX: 0.4, DY: 0.4, DZ: 0.4,
+	}
+	ranges := sys.SlabRows(8)
+	// Ring depth: maximum slab extent (what the planner would choose).
+	h := 0
+	for _, r := range ranges {
+		if r.Len() > h {
+			h = r.Len()
+		}
+	}
+	d := New("test", 0, 1)
+	host := hostStack(sys.NU, sys.NP, sys.NV)
+	ring, err := NewProjRing(d, sys.NU, sys.NP, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := geometry.RowRange{}
+	for i, need := range ranges {
+		ring.Release(need.Lo)
+		diff := geometry.DifferentialRows(prev, need)
+		if err := ring.LoadRows(host, diff); err != nil {
+			t.Fatalf("slab %d: %v", i, err)
+		}
+		for v := need.Lo; v < need.Hi; v++ {
+			row, err := ring.Row(v, i%sys.NP)
+			if err != nil {
+				t.Fatalf("slab %d row %d: %v", i, v, err)
+			}
+			if row[3] != float32(v*10000+(i%sys.NP)*100+3) {
+				t.Fatalf("slab %d row %d corrupted", i, v)
+			}
+		}
+		prev = need
+	}
+	// Every row in the union crossed the link exactly once.
+	union := geometry.RowRange{}
+	for _, r := range ranges {
+		union = union.Union(r)
+	}
+	rowBytes := int64(sys.NU) * int64(sys.NP) * 4
+	if got := d.Snapshot().H2DBytes; got != rowBytes*int64(union.Len()) {
+		t.Fatalf("H2D bytes %d, want %d (each row once)", got, rowBytes*int64(union.Len()))
+	}
+}

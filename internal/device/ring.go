@@ -1,0 +1,145 @@
+package device
+
+import (
+	"fmt"
+
+	"distfdk/internal/geometry"
+	"distfdk/internal/projection"
+)
+
+// ProjRing is the device-resident projection row store of Algorithm 3: a
+// 3-D buffer of H detector rows × NP projections × NU columns addressed
+// modulo H in the row dimension (`Z = z % dimZ` in Listing 1's devPixel).
+// Consecutive volume slabs need overlapping, monotonically increasing row
+// ranges (Figure 4); the ring keeps the overlap resident and accepts only
+// the differential rows, splitting a wrapping load into two copies exactly
+// like Algorithm 3 lines 10–15. Each detector row therefore crosses the
+// host↔device link exactly once per reconstruction — the property that
+// distinguishes the paper from batch-decomposition frameworks that re-ship
+// projections for every sub-volume.
+type ProjRing struct {
+	dev    *Device
+	NU, NP int
+	H      int // ring depth in rows
+
+	data  []float32
+	valid geometry.RowRange // global rows currently resident
+}
+
+// NewProjRing allocates a ring of depth h rows on the device, charging its
+// memory budget.
+func NewProjRing(dev *Device, nu, np, h int) (*ProjRing, error) {
+	if nu <= 0 || np <= 0 || h <= 0 {
+		return nil, fmt.Errorf("device: ring dimensions %dx%dx%d must be positive", nu, np, h)
+	}
+	bytes := int64(nu) * int64(np) * int64(h) * 4
+	if err := dev.Alloc(bytes); err != nil {
+		return nil, fmt.Errorf("device: projection ring of %d rows (%d bytes): %w", h, bytes, err)
+	}
+	return &ProjRing{dev: dev, NU: nu, NP: np, H: h, data: make([]float32, int(bytes/4))}, nil
+}
+
+// Close releases the ring's device memory.
+func (r *ProjRing) Close() {
+	if r.data != nil {
+		r.dev.Free(int64(len(r.data)) * 4)
+		r.data = nil
+	}
+}
+
+// Bytes returns the ring's device-memory footprint.
+func (r *ProjRing) Bytes() int64 { return int64(r.NU) * int64(r.NP) * int64(r.H) * 4 }
+
+// Valid returns the global row range currently resident.
+func (r *ProjRing) Valid() geometry.RowRange { return r.valid }
+
+// Reset discards all resident rows. The slab driver uses it when
+// consecutive slabs need disjoint row ranges (possible for very thin
+// detectors), where there is no overlap to preserve.
+func (r *ProjRing) Reset() { r.valid = geometry.RowRange{} }
+
+// Release drops resident rows below upTo, making their slots reusable. It
+// is called when advancing to the next slab, whose required range starts at
+// upTo (= a_{i+1}).
+func (r *ProjRing) Release(upTo int) {
+	if upTo > r.valid.Lo {
+		r.valid.Lo = min(upTo, r.valid.Hi)
+	}
+}
+
+// LoadRows copies the global detector rows `rows` from the host stack into
+// the ring (the host→device Memcpy3D of Algorithm 3). The stack must
+// contain the rows and share the ring's NU/NP extents. Loads must extend
+// the resident range contiguously upward and may not evict rows that have
+// not been Released; both violations are programming errors in the caller's
+// slab schedule and are reported rather than silently corrupting data.
+func (r *ProjRing) LoadRows(src *projection.Stack, rows geometry.RowRange) error {
+	if rows.IsEmpty() {
+		return nil
+	}
+	if src.NU != r.NU || src.NP != r.NP {
+		return fmt.Errorf("device: stack %dx%d does not match ring %dx%d", src.NU, src.NP, r.NU, r.NP)
+	}
+	if rows.Lo < src.V0 || rows.Hi > src.V0+src.NV {
+		return fmt.Errorf("device: rows %v not present in host stack %v", rows, src.Rows())
+	}
+	newValid := r.valid.Union(rows)
+	if !r.valid.IsEmpty() && rows.Lo > r.valid.Hi {
+		return fmt.Errorf("device: load %v leaves a gap after resident %v", rows, r.valid)
+	}
+	if newValid.Len() > r.H {
+		return fmt.Errorf("device: resident range %v (%d rows) exceeds ring depth %d", newValid, newValid.Len(), r.H)
+	}
+	// Overwriting rows that are still valid (not Released) is an
+	// eviction bug.
+	if !r.valid.IsEmpty() && rows.Lo < r.valid.Hi {
+		return fmt.Errorf("device: load %v overlaps resident rows %v", rows, r.valid)
+	}
+
+	rowBytes := int64(r.NU) * int64(r.NP) * 4
+	ops := int64(1)
+	// Copy row by row through the modular mapping; contiguous global
+	// rows map to at most two contiguous slot spans (the split copy of
+	// Algorithm 3), which we detect for the ledger.
+	if (rows.Lo%r.H)+rows.Len() > r.H {
+		ops = 2
+	}
+	for v := rows.Lo; v < rows.Hi; v++ {
+		slot := v % r.H
+		dst := r.data[slot*r.NP*r.NU : (slot+1)*r.NP*r.NU]
+		srcOff := (v - src.V0) * src.NP * src.NU
+		copy(dst, src.Data[srcOff:srcOff+len(dst)])
+	}
+	r.dev.RecordH2D(rowBytes*int64(rows.Len()), ops)
+	r.valid = newValid
+	return r.checkInvariant()
+}
+
+// checkInvariant verifies the resident range fits the ring depth.
+func (r *ProjRing) checkInvariant() error {
+	if r.valid.Len() > r.H {
+		return fmt.Errorf("device: invariant violated: %v exceeds depth %d", r.valid, r.H)
+	}
+	return nil
+}
+
+// Row returns the resident row v of projection p as a slice view, erroring
+// if the row is not resident. The back-projection kernel uses RawData for
+// its inner loop; Row exists for verification and tests.
+func (r *ProjRing) Row(v, p int) ([]float32, error) {
+	if !r.valid.Contains(v) {
+		return nil, fmt.Errorf("device: row %d not resident (valid %v)", v, r.valid)
+	}
+	if p < 0 || p >= r.NP {
+		return nil, fmt.Errorf("device: projection %d outside [0,%d)", p, r.NP)
+	}
+	slot := v % r.H
+	off := (slot*r.NP + p) * r.NU
+	return r.data[off : off+r.NU], nil
+}
+
+// RawData exposes the ring storage for the kernel inner loop, which indexes
+// it as data[((v%H)·NP+p)·NU+u] — the exact devPixel addressing of
+// Listing 1. Callers must have verified residency via Valid() for the row
+// range they touch.
+func (r *ProjRing) RawData() []float32 { return r.data }

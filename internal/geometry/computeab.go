@@ -1,0 +1,130 @@
+package geometry
+
+import (
+	"fmt"
+	"math"
+)
+
+// RowRange is a half-open range [Lo, Hi) of detector rows (the V axis). It
+// is the a̅b̅ interval of Equation 4 computed by Algorithm 2: the detector
+// rows that a sub-volume slab needs from every projection.
+type RowRange struct {
+	Lo, Hi int
+}
+
+// Len returns the number of rows in the range.
+func (r RowRange) Len() int { return r.Hi - r.Lo }
+
+// IsEmpty reports whether the range contains no rows.
+func (r RowRange) IsEmpty() bool { return r.Hi <= r.Lo }
+
+// Contains reports whether row v lies in the range.
+func (r RowRange) Contains(v int) bool { return v >= r.Lo && v < r.Hi }
+
+// Intersect returns the overlap of two ranges (possibly empty).
+func (r RowRange) Intersect(o RowRange) RowRange {
+	lo := max(r.Lo, o.Lo)
+	hi := min(r.Hi, o.Hi)
+	if hi < lo {
+		hi = lo
+	}
+	return RowRange{lo, hi}
+}
+
+// Union returns the smallest range covering both inputs.
+func (r RowRange) Union(o RowRange) RowRange {
+	if r.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return r
+	}
+	return RowRange{min(r.Lo, o.Lo), max(r.Hi, o.Hi)}
+}
+
+func (r RowRange) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// ComputeAB implements Algorithm 2: it returns the maximum projection area —
+// the detector-row range required to reconstruct the volume slab
+// k ∈ [beginIdx, endIdx) — by projecting the corner voxel column (i=0, j=0)
+// at the two rotation angles that place it nearest to and furthest from the
+// X-ray source (Figure 5). Because the volume is centred on the rotation
+// axis, every other voxel of the slab projects between those extremes at
+// every angle.
+//
+// The paper evaluates the matrices at 135° and 315°; those constants assume
+// its particular rotation-direction convention. We compute the equivalent
+// angles from the corner's azimuth so the bound holds for any StartAngle and
+// rotation convention, then widen by one row at each end so the bilinear
+// interpolation footprint (rows ⌊v⌋ and ⌊v⌋+1 of Algorithm 1's SubPixel) is
+// always resident. The result is clamped to the physical detector [0, NV).
+func (s *System) ComputeAB(beginIdx, endIdx int) RowRange {
+	if beginIdx < 0 || endIdx > s.NZ || beginIdx >= endIdx {
+		return RowRange{}
+	}
+	mNear, mFar := s.extremeMatrices()
+
+	v0n, _ := mNear.ProjectV(0, 0, float64(beginIdx))
+	v0f, _ := mFar.ProjectV(0, 0, float64(beginIdx))
+	v1n, _ := mNear.ProjectV(0, 0, float64(endIdx-1))
+	v1f, _ := mFar.ProjectV(0, 0, float64(endIdx-1))
+
+	lo := math.Floor(min4(v0n, v0f, v1n, v1f))
+	hi := math.Ceil(max4(v0n, v0f, v1n, v1f))
+
+	// One extra row below and above keeps the full bilinear footprint in
+	// range even when v lands exactly on an integer row.
+	r := RowRange{int(lo) - 1, int(hi) + 2}
+	return r.Intersect(RowRange{0, s.NV})
+}
+
+// extremeMatrices returns the projection matrices at the two rotation angles
+// that move the (i=0, j=0) corner column onto the source–axis line: nearest
+// to the source (minimum ray depth, maximal |v−cv|) and furthest (maximum
+// depth, minimal |v−cv|). They generalise the paper's M_135° and M_315°.
+func (s *System) extremeMatrices() (near, far Mat34) {
+	cx := -(float64(s.NX) - 1) / 2 * s.DX
+	cy := -(float64(s.NY) - 1) / 2 * s.DY
+	theta := math.Atan2(cy, cx)
+	// In the Matrix convention the rotated depth of a point at azimuth θ
+	// and radius r is Dso + r·sin(θ+φ); depth is minimal at θ+φ = 3π/2
+	// and maximal at θ+φ = π/2.
+	near = s.Matrix(3*math.Pi/2 - theta)
+	far = s.Matrix(math.Pi/2 - theta)
+	return
+}
+
+// SlabRows returns, for every Z slab of height nb voxels (Equation 3 gives
+// Nn = Nz/nb slabs, the last one possibly shorter), the detector-row range
+// required to reconstruct it (Equation 4). Consecutive ranges overlap: the
+// overlap a_{i+1}b̅_i is the reuse window of Figure 4 that the streaming
+// kernel keeps resident in device memory.
+func (s *System) SlabRows(nb int) []RowRange {
+	if nb <= 0 {
+		return nil
+	}
+	var out []RowRange
+	for k := 0; k < s.NZ; k += nb {
+		end := min(k+nb, s.NZ)
+		out = append(out, s.ComputeAB(k, end))
+	}
+	return out
+}
+
+// DifferentialRows returns the rows that must be newly loaded for slab i
+// given that slab i−1's rows are still resident (Equation 6: b̅_i b̅_{i+1} =
+// a̅_{i+1}b̅_{i+1} − a̅_i b̅_i ∩ a̅_{i+1}b̅_{i+1}). For i == 0 the full range
+// is returned. The slab ordering along +Z makes ranges monotonically
+// increasing, so the differential is always a suffix of the new range.
+func DifferentialRows(prev, cur RowRange) RowRange {
+	if prev.IsEmpty() {
+		return cur
+	}
+	if cur.Lo >= prev.Hi { // disjoint: everything is new
+		return cur
+	}
+	return RowRange{max(cur.Lo, prev.Hi), cur.Hi}
+}
+
+func min4(a, b, c, d float64) float64 { return math.Min(math.Min(a, b), math.Min(c, d)) }
+func max4(a, b, c, d float64) float64 { return math.Max(math.Max(a, b), math.Max(c, d)) }

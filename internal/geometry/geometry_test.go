@@ -1,0 +1,326 @@
+package geometry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testSystem returns a mid-magnification system resembling the paper's
+// tomo_00030 geometry scaled down.
+func testSystem() *System {
+	return &System{
+		DSO: 250, DSD: 350,
+		NU: 96, NV: 64, DU: 0.5, DV: 0.5,
+		NP: 90,
+		NX: 48, NY: 48, NZ: 40, DX: 0.25, DY: 0.25, DZ: 0.25,
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := testSystem().Validate(); err != nil {
+		t.Fatalf("valid system rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParameters(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*System)
+	}{
+		{"zero DSO", func(s *System) { s.DSO = 0 }},
+		{"negative DSD", func(s *System) { s.DSD = -1 }},
+		{"DSD<DSO", func(s *System) { s.DSD = s.DSO / 2 }},
+		{"zero NU", func(s *System) { s.NU = 0 }},
+		{"zero NV", func(s *System) { s.NV = 0 }},
+		{"zero DU", func(s *System) { s.DU = 0 }},
+		{"zero DV", func(s *System) { s.DV = 0 }},
+		{"zero NP", func(s *System) { s.NP = 0 }},
+		{"zero NX", func(s *System) { s.NX = 0 }},
+		{"zero DZ", func(s *System) { s.DZ = 0 }},
+		{"negative AngleRange", func(s *System) { s.AngleRange = -1 }},
+		{"object reaches source", func(s *System) { s.DX = 100; s.DY = 100 }},
+	}
+	for _, tc := range cases {
+		s := testSystem()
+		tc.mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestMagnification(t *testing.T) {
+	s := testSystem()
+	if got, want := s.Magnification(), 350.0/250.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("magnification = %g, want %g", got, want)
+	}
+}
+
+func TestAngleFullScan(t *testing.T) {
+	s := testSystem()
+	if got := s.Angle(0); got != 0 {
+		t.Fatalf("Angle(0) = %g, want 0", got)
+	}
+	want := 2 * math.Pi * float64(s.NP-1) / float64(s.NP)
+	if got := s.Angle(s.NP - 1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Angle(NP-1) = %g, want %g", got, want)
+	}
+	s.StartAngle = 1.5
+	if got := s.Angle(0); got != 1.5 {
+		t.Fatalf("Angle(0) with StartAngle = %g, want 1.5", got)
+	}
+}
+
+// The voxel at the exact volume centre lies on the rotation axis, so it must
+// project to the (offset-corrected) detector centre at every angle, with
+// homogeneous depth exactly 1 (ray depth Dso normalised by Dso).
+func TestCenterVoxelProjectsToDetectorCenter(t *testing.T) {
+	s := testSystem()
+	ci := (float64(s.NX) - 1) / 2
+	cj := (float64(s.NY) - 1) / 2
+	ck := (float64(s.NZ) - 1) / 2
+	wantU := (float64(s.NU) - 1) / 2
+	wantV := (float64(s.NV) - 1) / 2
+	for p := 0; p < s.NP; p += 7 {
+		m := s.Matrix(s.Angle(p))
+		u, v, z := m.Project(ci, cj, ck)
+		if math.Abs(u-wantU) > 1e-9 || math.Abs(v-wantV) > 1e-9 {
+			t.Fatalf("p=%d: centre voxel projects to (%g,%g), want (%g,%g)", p, u, v, wantU, wantV)
+		}
+		if math.Abs(z-1) > 1e-12 {
+			t.Fatalf("p=%d: homogeneous depth = %g, want 1", p, z)
+		}
+	}
+}
+
+// A point on the rotation axis at height h above centre magnifies by
+// Dsd/Dso: v − cv = (Dsd/Dso)·h/Δv.
+func TestAxialMagnification(t *testing.T) {
+	s := testSystem()
+	ci := (float64(s.NX) - 1) / 2
+	cj := (float64(s.NY) - 1) / 2
+	k := float64(s.NZ - 1) // top slice
+	h := (k - (float64(s.NZ)-1)/2) * s.DZ
+	want := (float64(s.NV)-1)/2 + s.Magnification()*h/s.DV
+	for _, phi := range []float64{0, 0.3, math.Pi / 2, 4.1} {
+		_, v, _ := s.Matrix(phi).Project(ci, cj, k)
+		if math.Abs(v-want) > 1e-9 {
+			t.Fatalf("phi=%g: v = %g, want %g", phi, v, want)
+		}
+	}
+}
+
+func TestDetectorOffsetsShiftProjection(t *testing.T) {
+	s := testSystem()
+	m0 := s.Matrix(0.7)
+	s.SigmaU, s.SigmaV = 25, 0.25 // tomo_00027 values (Table 4)
+	m1 := s.Matrix(0.7)
+	for trial := 0; trial < 20; trial++ {
+		i, j, k := float64(trial%s.NX), float64((trial*7)%s.NY), float64((trial*3)%s.NZ)
+		u0, v0, z0 := m0.Project(i, j, k)
+		u1, v1, z1 := m1.Project(i, j, k)
+		if math.Abs(u1-u0-25) > 1e-9 || math.Abs(v1-v0-0.25) > 1e-9 {
+			t.Fatalf("offsets shifted (%g,%g) -> (%g,%g); want +25,+0.25", u0, v0, u1, v1)
+		}
+		if math.Abs(z1-z0) > 1e-12 {
+			t.Fatalf("detector offsets must not change depth: %g vs %g", z0, z1)
+		}
+	}
+}
+
+// The rotation-centre offset σcor shifts the rotated X coordinate, so at
+// angle 0 a voxel's u moves by (Dsd/Δu)·σcor/ℓ where ℓ is the ray depth.
+func TestRotationCenterOffset(t *testing.T) {
+	s := testSystem()
+	m0 := s.Matrix(0)
+	s.SigmaCOR = 1.03 // bumblebee value (Table 4)
+	m1 := s.Matrix(0)
+	i, j, k := 3.0, 5.0, 7.0
+	u0, _, z := m0.Project(i, j, k)
+	u1, _, _ := m1.Project(i, j, k)
+	depth := z * s.DSO
+	want := s.DSD / s.DU * s.SigmaCOR / depth
+	if math.Abs((u1-u0)-want) > 1e-9 {
+		t.Fatalf("σcor shift = %g, want %g", u1-u0, want)
+	}
+}
+
+// The homogeneous depth must equal (source-to-voxel-plane distance)/Dso so
+// that 1/z² is the FDK weight.
+func TestDepthNormalisation(t *testing.T) {
+	s := testSystem()
+	phi := 1.234
+	m := s.Matrix(phi)
+	for trial := 0; trial < 50; trial++ {
+		i := rand.Intn(s.NX)
+		j := rand.Intn(s.NY)
+		k := rand.Intn(s.NZ)
+		x, y, _ := s.VoxelWorld(i, j, k)
+		sin, cos := math.Sincos(phi)
+		depth := sin*x + cos*y + s.DSO
+		_, _, z := m.Project(float64(i), float64(j), float64(k))
+		if math.Abs(z-depth/s.DSO) > 1e-9 {
+			t.Fatalf("voxel (%d,%d,%d): z=%g want %g", i, j, k, z, depth/s.DSO)
+		}
+	}
+}
+
+func TestToKernelMatchesFloat64(t *testing.T) {
+	m := testSystem().Matrix(2.2)
+	k := m.ToKernel()
+	for c := 0; c < 4; c++ {
+		if float64(k.R0[c]) != float64(float32(m[0][c])) ||
+			float64(k.R1[c]) != float64(float32(m[1][c])) ||
+			float64(k.R2[c]) != float64(float32(m[2][c])) {
+			t.Fatalf("kernel matrix column %d mismatch", c)
+		}
+	}
+}
+
+// Property (testing/quick): every voxel of a slab projects, at every angle,
+// inside the row range that ComputeAB declares for that slab — including the
+// +1 bilinear neighbour row.
+func TestComputeABCoversAllProjections(t *testing.T) {
+	s := testSystem()
+	s.SigmaV = 0.2 // exercise the offset path too
+	mats := s.Matrices()
+	f := func(begin8, len8 uint8, i16, j16, k16, p16 uint16) bool {
+		begin := int(begin8) % s.NZ
+		nb := 1 + int(len8)%8
+		end := min(begin+nb, s.NZ)
+		r := s.ComputeAB(begin, end)
+		i := int(i16) % s.NX
+		j := int(j16) % s.NY
+		k := begin + int(k16)%(end-begin)
+		p := int(p16) % s.NP
+		v, _ := mats[p].ProjectV(float64(i), float64(j), float64(k))
+		// The bilinear footprint needs rows floor(v) and floor(v)+1.
+		lo := int(math.Floor(v))
+		hi := lo + 1
+		// Rows that fall off the physical detector are legitimately
+		// absent; only in-detector rows must be covered.
+		if lo >= 0 && lo < s.NV && !r.Contains(lo) {
+			return false
+		}
+		if hi >= 0 && hi < s.NV && !r.Contains(hi) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeABDegenerateInputs(t *testing.T) {
+	s := testSystem()
+	for _, c := range [][2]int{{-1, 3}, {5, 5}, {7, 3}, {0, s.NZ + 1}} {
+		if r := s.ComputeAB(c[0], c[1]); !r.IsEmpty() {
+			t.Errorf("ComputeAB(%d,%d) = %v, want empty", c[0], c[1], r)
+		}
+	}
+}
+
+// Slab ranges along +Z must be monotone (later slabs need rows at or above
+// earlier slabs') and collectively cover every row any slab needs.
+func TestSlabRowsMonotoneAndCovering(t *testing.T) {
+	s := testSystem()
+	rows := s.SlabRows(8)
+	wantSlabs := (s.NZ + 7) / 8
+	if len(rows) != wantSlabs {
+		t.Fatalf("got %d slabs, want %d", len(rows), wantSlabs)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Lo < rows[i-1].Lo || rows[i].Hi < rows[i-1].Hi {
+			t.Fatalf("slab %d range %v not monotone after %v", i, rows[i], rows[i-1])
+		}
+		if rows[i].Lo > rows[i-1].Hi {
+			t.Fatalf("slab %d range %v leaves a gap after %v", i, rows[i], rows[i-1])
+		}
+	}
+	full := s.ComputeAB(0, s.NZ)
+	union := RowRange{}
+	for _, r := range rows {
+		union = union.Union(r)
+	}
+	if union.Lo > full.Lo || union.Hi < full.Hi {
+		t.Fatalf("slab union %v does not cover full range %v", union, full)
+	}
+}
+
+// The differential update rule (Equation 6) must reconstruct exactly the new
+// slab's range when combined with the retained overlap.
+func TestDifferentialRows(t *testing.T) {
+	s := testSystem()
+	rows := s.SlabRows(5)
+	prev := RowRange{}
+	loaded := RowRange{}
+	for i, r := range rows {
+		d := DifferentialRows(prev, r)
+		if i == 0 {
+			if d != r {
+				t.Fatalf("first slab differential %v != full range %v", d, r)
+			}
+		} else {
+			if d.Lo < prev.Hi && d.Lo != r.Lo {
+				t.Fatalf("slab %d differential %v re-loads retained rows (prev %v)", i, d, prev)
+			}
+			if got := prev.Intersect(r).Union(d); got.Lo > r.Lo || got.Hi < r.Hi {
+				t.Fatalf("slab %d: overlap+differential %v does not cover %v", i, got, r)
+			}
+		}
+		loaded = loaded.Union(d)
+		prev = r
+	}
+	// Total loaded rows must equal the union of all ranges: each row
+	// moved host-to-device exactly once (the paper's key I/O property).
+	union := RowRange{}
+	for _, r := range rows {
+		union = union.Union(r)
+	}
+	if loaded != union {
+		t.Fatalf("differential loads %v != union of ranges %v", loaded, union)
+	}
+}
+
+func TestRowRangeOps(t *testing.T) {
+	a := RowRange{2, 10}
+	b := RowRange{8, 14}
+	if got := a.Intersect(b); got != (RowRange{8, 10}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Union(b); got != (RowRange{2, 14}) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(RowRange{12, 20}); !got.IsEmpty() {
+		t.Errorf("disjoint Intersect = %v, want empty", got)
+	}
+	if a.Len() != 8 || !a.Contains(2) || a.Contains(10) {
+		t.Errorf("Len/Contains misbehaved: %v", a)
+	}
+	if got := (RowRange{}).Union(a); got != a {
+		t.Errorf("empty Union = %v", got)
+	}
+	if DifferentialRows(RowRange{0, 4}, RowRange{6, 9}) != (RowRange{6, 9}) {
+		t.Errorf("disjoint differential should be the whole new range")
+	}
+}
+
+func BenchmarkMatrix(b *testing.B) {
+	s := testSystem()
+	for i := 0; i < b.N; i++ {
+		_ = s.Matrix(float64(i) * 0.001)
+	}
+}
+
+func BenchmarkProject(b *testing.B) {
+	m := testSystem().Matrix(0.5)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		_, v, _ := m.Project(1, 2, 3)
+		sink += v
+	}
+	_ = sink
+}

@@ -1,0 +1,82 @@
+package geometry
+
+// Mat34 is a row-major 3×4 projection matrix (M_φ in the paper). It acts on
+// homogeneous voxel coordinates [i j k 1]ᵀ.
+type Mat34 [3][4]float64
+
+type mat33 [3][3]float64
+type mat44 [4][4]float64
+
+// mulMat34 returns k·g for a 3×3 k and 3×4 g.
+func (k mat33) mulMat34(g Mat34) Mat34 {
+	var out Mat34
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			out[r][c] = k[r][0]*g[0][c] + k[r][1]*g[1][c] + k[r][2]*g[2][c]
+		}
+	}
+	return out
+}
+
+// mulMat44 returns m·v for a 3×4 m and 4×4 v.
+func (m Mat34) mulMat44(v mat44) Mat34 {
+	var out Mat34
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			out[r][c] = m[r][0]*v[0][c] + m[r][1]*v[1][c] + m[r][2]*v[2][c] + m[r][3]*v[3][c]
+		}
+	}
+	return out
+}
+
+// scale multiplies every entry by f. Projection matrices are homogeneous, so
+// scaling leaves (u,v) unchanged while rescaling the depth z; the paper (and
+// this package) normalises by 1/Dso so 1/z² is the FDK weight.
+func (m *Mat34) scale(f float64) {
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			m[r][c] *= f
+		}
+	}
+}
+
+// Row returns row r as a length-4 vector, matching the proj_mat[3s+r]
+// access pattern of the CUDA kernel in Listing 1.
+func (m Mat34) Row(r int) [4]float64 { return m[r] }
+
+// Project implements the projection operation of Equation 8 / Algorithm 1
+// lines 6–8: it maps voxel indices (i,j,k) to the detector position (u,v) in
+// pixels at sub-pixel precision and returns the homogeneous depth z whose
+// inverse square is the FDK accumulation weight.
+func (m Mat34) Project(i, j, k float64) (u, v, z float64) {
+	z = m[2][0]*i + m[2][1]*j + m[2][2]*k + m[2][3]
+	u = (m[0][0]*i + m[0][1]*j + m[0][2]*k + m[0][3]) / z
+	v = (m[1][0]*i + m[1][1]*j + m[1][2]*k + m[1][3]) / z
+	return
+}
+
+// ProjectV returns only the detector row coordinate v and depth z; it is the
+// part of Equation 8 needed by Algorithm 2's projection-area computation.
+func (m Mat34) ProjectV(i, j, k float64) (v, z float64) {
+	z = m[2][0]*i + m[2][1]*j + m[2][2]*k + m[2][3]
+	v = (m[1][0]*i + m[1][1]*j + m[1][2]*k + m[1][3]) / z
+	return
+}
+
+// Mat34x4 is the float32 rendition of one matrix row used by the streaming
+// back-projection kernel, mirroring the float4 loads of Listing 1.
+type Mat34x4 struct {
+	R0, R1, R2 [4]float32
+}
+
+// ToKernel converts the matrix to the float32 row layout consumed by the
+// back-projection inner loop.
+func (m Mat34) ToKernel() Mat34x4 {
+	var k Mat34x4
+	for c := 0; c < 4; c++ {
+		k.R0[c] = float32(m[0][c])
+		k.R1[c] = float32(m[1][c])
+		k.R2[c] = float32(m[2][c])
+	}
+	return k
+}

@@ -1,0 +1,126 @@
+package geometry
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Projection matrices are homogeneous: scaling a matrix must not change
+// the projected (u, v), only the depth.
+func TestMatrixScaleInvariance(t *testing.T) {
+	s := testSystem()
+	m := s.Matrix(0.9)
+	scaled := m
+	scaled.scale(3.7)
+	f := func(i8, j8, k8 uint8) bool {
+		i := float64(i8) / 8
+		j := float64(j8) / 8
+		k := float64(k8) / 8
+		u1, v1, z1 := m.Project(i, j, k)
+		u2, v2, z2 := scaled.Project(i, j, k)
+		return math.Abs(u1-u2) < 1e-9 && math.Abs(v1-v2) < 1e-9 &&
+			math.Abs(z2-3.7*z1) < 1e-9*math.Abs(z1)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A full rotation returns the same matrix.
+func TestMatrixPeriodicity(t *testing.T) {
+	s := testSystem()
+	s.SigmaCOR = 0.7
+	for _, phi := range []float64{0, 0.3, 1.9, 4.4} {
+		a := s.Matrix(phi)
+		b := s.Matrix(phi + 2*math.Pi)
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 4; c++ {
+				if math.Abs(a[r][c]-b[r][c]) > 1e-9 {
+					t.Fatalf("matrix not 2π-periodic at φ=%g: [%d][%d] %g vs %g", phi, r, c, a[r][c], b[r][c])
+				}
+			}
+		}
+	}
+}
+
+// Opposite angles view the volume from opposite sides: the depth of a
+// voxel at φ plus its depth at φ+π equals 2·Dso (normalised: 2).
+func TestOppositeAngleDepths(t *testing.T) {
+	s := testSystem()
+	for trial := 0; trial < 30; trial++ {
+		phi := float64(trial) * 0.21
+		m1 := s.Matrix(phi)
+		m2 := s.Matrix(phi + math.Pi)
+		i, j, k := float64(trial%s.NX), float64((trial*3)%s.NY), float64((trial*7)%s.NZ)
+		_, _, z1 := m1.Project(i, j, k)
+		_, _, z2 := m2.Project(i, j, k)
+		if math.Abs(z1+z2-2) > 1e-9 {
+			t.Fatalf("depths at opposite angles: %g + %g != 2", z1, z2)
+		}
+	}
+}
+
+// ComputeAB ranges grow monotonically with the slab position: a later
+// beginning never needs earlier rows.
+func TestComputeABMonotoneInSlabPosition(t *testing.T) {
+	s := testSystem()
+	prev := s.ComputeAB(0, 4)
+	for begin := 1; begin+4 <= s.NZ; begin++ {
+		cur := s.ComputeAB(begin, begin+4)
+		if cur.Lo < prev.Lo || cur.Hi < prev.Hi {
+			t.Fatalf("range regressed at begin=%d: %v after %v", begin, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// Wider slabs need supersets of narrower slabs' rows.
+func TestComputeABNesting(t *testing.T) {
+	s := testSystem()
+	f := func(begin8, inner8, outer8 uint8) bool {
+		begin := int(begin8) % (s.NZ - 2)
+		inner := 1 + int(inner8)%4
+		outer := inner + int(outer8)%4
+		if begin+outer > s.NZ {
+			return true
+		}
+		ri := s.ComputeAB(begin, begin+inner)
+		ro := s.ComputeAB(begin, begin+outer)
+		return ro.Lo <= ri.Lo && ro.Hi >= ri.Hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The detector offsets σu/σv shift ComputeAB ranges coherently: raising
+// σv moves the projected rows (and so the ranges) upward.
+func TestComputeABFollowsSigmaV(t *testing.T) {
+	s := testSystem()
+	base := s.ComputeAB(0, 8)
+	s.SigmaV = 6
+	shifted := s.ComputeAB(0, 8)
+	if shifted.Lo < base.Lo || shifted.Hi < base.Hi {
+		t.Fatalf("σv=+6 did not shift range upward: %v vs %v", shifted, base)
+	}
+}
+
+// VoxelWorld round trip: the voxel nearest a world position is the
+// original voxel.
+func TestVoxelWorldRoundTrip(t *testing.T) {
+	s := testSystem()
+	f := func(i16, j16, k16 uint16) bool {
+		i := int(i16) % s.NX
+		j := int(j16) % s.NY
+		k := int(k16) % s.NZ
+		x, y, z := s.VoxelWorld(i, j, k)
+		ri := int(math.Round(x/s.DX + (float64(s.NX)-1)/2))
+		rj := int(math.Round(y/s.DY + (float64(s.NY)-1)/2))
+		rk := int(math.Round(z/s.DZ + (float64(s.NZ)-1)/2))
+		return ri == i && rj == j && rk == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

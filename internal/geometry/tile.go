@@ -1,0 +1,65 @@
+package geometry
+
+import "math"
+
+// TileColumns returns the detector-column range [Lo, Hi) that the XY tile
+// of voxels i ∈ [i0, i1), j ∈ [j0, j1) (any k) needs across every
+// acquisition angle. Together with ComputeAB's row range this extends the
+// paper's 2-D input decomposition to a full 3-D one: an output tile owns a
+// detector *window*, not just a row band.
+//
+// The bound is exact: at a fixed angle, u is a fractional-linear function
+// of (x, y) with positive denominator over the tile, so its extrema over
+// the convex tile footprint lie at the four corners; the range over the
+// scan is the min/max over all angles and corners. One extra column on
+// each side keeps the bilinear footprint resident, and the result is
+// clamped to the physical detector.
+func (s *System) TileColumns(i0, i1, j0, j1 int) RowRange {
+	if i0 < 0 || j0 < 0 || i1 > s.NX || j1 > s.NY || i0 >= i1 || j0 >= j1 {
+		return RowRange{}
+	}
+	lo := math.Inf(1)
+	hi := math.Inf(-1)
+	corners := [4][2]float64{
+		{float64(i0), float64(j0)},
+		{float64(i1 - 1), float64(j0)},
+		{float64(i0), float64(j1 - 1)},
+		{float64(i1 - 1), float64(j1 - 1)},
+	}
+	for p := 0; p < s.NP; p++ {
+		m := s.Matrix(s.Angle(p))
+		for _, c := range corners {
+			// u is independent of k; evaluate at k=0.
+			u, _, _ := m.Project(c[0], c[1], 0)
+			lo = math.Min(lo, u)
+			hi = math.Max(hi, u)
+		}
+	}
+	r := RowRange{int(math.Floor(lo)) - 1, int(math.Ceil(hi)) + 2}
+	return r.Intersect(RowRange{0, s.NU})
+}
+
+// ShiftDetector re-expresses the matrix for a cropped detector whose
+// origin moved to column u0, row v0: the projected coordinates become
+// (u−u0, v−v0). Because the matrix is homogeneous this is a row update,
+// exact in the algebra: row0 −= u0·row2, row1 −= v0·row2.
+func (m Mat34) ShiftDetector(u0, v0 float64) Mat34 {
+	var out Mat34
+	for c := 0; c < 4; c++ {
+		out[0][c] = m[0][c] - u0*m[2][c]
+		out[1][c] = m[1][c] - v0*m[2][c]
+		out[2][c] = m[2][c]
+	}
+	return out
+}
+
+// ShiftVolume re-expresses the matrix for a volume tile whose local voxel
+// (0,0,0) is global voxel (i0, j0, k0): substituting i = i'+i0 etc. folds
+// the offset into the translation column.
+func (m Mat34) ShiftVolume(i0, j0, k0 float64) Mat34 {
+	out := m
+	for r := 0; r < 3; r++ {
+		out[r][3] += m[r][0]*i0 + m[r][1]*j0 + m[r][2]*k0
+	}
+	return out
+}

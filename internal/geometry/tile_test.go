@@ -1,0 +1,89 @@
+package geometry
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestShiftDetectorAlgebra(t *testing.T) {
+	s := testSystem()
+	m := s.Matrix(1.1)
+	shifted := m.ShiftDetector(5.5, -2.25)
+	f := func(i8, j8, k8 uint8) bool {
+		i, j, k := float64(i8%48), float64(j8%48), float64(k8%40)
+		u, v, z := m.Project(i, j, k)
+		su, sv, sz := shifted.Project(i, j, k)
+		return math.Abs(su-(u-5.5)) < 1e-9 && math.Abs(sv-(v+2.25)) < 1e-9 && math.Abs(sz-z) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftVolumeAlgebra(t *testing.T) {
+	s := testSystem()
+	m := s.Matrix(2.3)
+	shifted := m.ShiftVolume(7, 11, 3)
+	f := func(i8, j8, k8 uint8) bool {
+		i, j, k := float64(i8%32), float64(j8%32), float64(k8%32)
+		u, v, z := m.Project(i+7, j+11, k+3)
+		su, sv, sz := shifted.Project(i, j, k)
+		return math.Abs(su-u) < 1e-9 && math.Abs(sv-v) < 1e-9 && math.Abs(sz-z) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every voxel of an XY tile must project, at every angle, inside the
+// column range TileColumns declares (including the bilinear neighbour).
+func TestTileColumnsCoverAllProjections(t *testing.T) {
+	s := testSystem()
+	s.SigmaU = 1.5
+	s.SigmaCOR = 0.4
+	mats := s.Matrices()
+	f := func(i0raw, j0raw, niraw, njraw uint8, i16, j16, k16, p16 uint16) bool {
+		i0 := int(i0raw) % (s.NX - 1)
+		j0 := int(j0raw) % (s.NY - 1)
+		ni := 1 + int(niraw)%(s.NX-i0)
+		nj := 1 + int(njraw)%(s.NY-j0)
+		cols := s.TileColumns(i0, i0+ni, j0, j0+nj)
+		i := i0 + int(i16)%ni
+		j := j0 + int(j16)%nj
+		k := int(k16) % s.NZ
+		p := int(p16) % s.NP
+		u, _, _ := mats[p].Project(float64(i), float64(j), float64(k))
+		lo := int(math.Floor(u))
+		hi := lo + 1
+		if lo >= 0 && lo < s.NU && !cols.Contains(lo) {
+			return false
+		}
+		if hi >= 0 && hi < s.NU && !cols.Contains(hi) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 600}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTileColumnsDegenerate(t *testing.T) {
+	s := testSystem()
+	for _, c := range [][4]int{{-1, 2, 0, 2}, {0, 0, 0, 2}, {0, 2, 5, 5}, {0, s.NX + 1, 0, 2}} {
+		if r := s.TileColumns(c[0], c[1], c[2], c[3]); !r.IsEmpty() {
+			t.Errorf("TileColumns(%v) = %v, want empty", c, r)
+		}
+	}
+	// The full footprint needs (nearly) the full detector.
+	full := s.TileColumns(0, s.NX, 0, s.NY)
+	if full.Len() < s.NU/2 {
+		t.Fatalf("full-volume column range %v suspiciously narrow", full)
+	}
+	// A small centred tile needs far fewer columns.
+	small := s.TileColumns(s.NX/2-2, s.NX/2+2, s.NY/2-2, s.NY/2+2)
+	if small.Len() >= full.Len()/2 {
+		t.Fatalf("central tile range %v not much narrower than %v", small, full)
+	}
+}

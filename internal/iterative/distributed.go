@@ -1,0 +1,213 @@
+package iterative
+
+import (
+	"fmt"
+	"math"
+
+	"distfdk/internal/backproject"
+	"distfdk/internal/device"
+	"distfdk/internal/forward"
+	"distfdk/internal/geometry"
+	"distfdk/internal/mpi"
+	"distfdk/internal/projection"
+	"distfdk/internal/volume"
+)
+
+// ClusterOptions configures a distributed SIRT run: the angle axis is
+// partitioned round-robin over Ranks workers (the decomposition of the
+// distributed ASTRA/SIRT extension the paper cites as related work), each
+// rank evaluates its share of the forward/backward operators, and the
+// per-iteration updates meet in an Allreduce so every rank advances the
+// same replicated image.
+type ClusterOptions struct {
+	Options
+	// Ranks is the world size.
+	Ranks int
+}
+
+// ReconstructDistributed runs SIRT across in-process MPI ranks. The result
+// matches the single-process SIRT with the same options up to float32
+// reduction-tree reassociation.
+func ReconstructDistributed(sys *geometry.System, measured *projection.Stack, opts ClusterOptions) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Ranks <= 0 || opts.Ranks > sys.NP {
+		return nil, fmt.Errorf("iterative: ranks %d outside [1,%d]", opts.Ranks, sys.NP)
+	}
+	if opts.Iterations <= 0 {
+		return nil, fmt.Errorf("iterative: Iterations=%d must be positive", opts.Iterations)
+	}
+	if opts.Subsets > 1 {
+		return nil, fmt.Errorf("iterative: distributed mode implements SIRT (Subsets=1); got %d", opts.Subsets)
+	}
+	lambda := opts.Relaxation
+	if lambda == 0 {
+		lambda = 1
+	}
+	if lambda <= 0 || lambda >= 2 {
+		return nil, fmt.Errorf("iterative: relaxation %g outside (0,2)", lambda)
+	}
+	if measured.NU != sys.NU || measured.NP != sys.NP || measured.NV != sys.NV || measured.V0 != 0 || measured.P0 != 0 {
+		return nil, fmt.Errorf("iterative: stack does not match system")
+	}
+
+	bNorm := l2(measured.Data)
+	final := &Result{}
+	finalVol, err := volume.New(sys.NX, sys.NY, sys.NZ)
+	if err != nil {
+		return nil, err
+	}
+	final.Volume = finalVol
+	if bNorm == 0 {
+		return final, nil
+	}
+
+	err = mpi.Run(opts.Ranks, func(world *mpi.Comm) error {
+		rank := world.Rank()
+		// Local angle share (round-robin, like ordered subsets).
+		var ps []int
+		var mats []geometry.Mat34x4
+		for p := rank; p < sys.NP; p += opts.Ranks {
+			ps = append(ps, p)
+			mats = append(mats, sys.Matrix(sys.Angle(p)).ToKernel())
+		}
+		meas, err := extractAngles(measured, ps)
+		if err != nil {
+			return err
+		}
+		dev := device.New(fmt.Sprintf("sirt%d", rank), 0, opts.Workers)
+
+		// Local R = A_r·1 and local contribution to the global C.
+		ones, err := volume.New(sys.NX, sys.NY, sys.NZ)
+		if err != nil {
+			return err
+		}
+		ones.Fill(1)
+		rowNorm, err := forward.ProjectVolumeSubset(sys, ones, opts.Step, opts.Workers, ps)
+		if err != nil {
+			return err
+		}
+		const normFloor = 1e-6
+		for i, r := range rowNorm.Data {
+			if r < normFloor {
+				rowNorm.Data[i] = normFloor
+			}
+		}
+		onesStack, err := projection.NewStack(sys.NU, len(ps), sys.NV)
+		if err != nil {
+			return err
+		}
+		for i := range onesStack.Data {
+			onesStack.Data[i] = 1
+		}
+		colNorm, err := volume.New(sys.NX, sys.NY, sys.NZ)
+		if err != nil {
+			return err
+		}
+		if err := backproject.Batch(dev, onesStack, mats, colNorm); err != nil {
+			return err
+		}
+		// Global C = Σ_r A_rᵀ·1 via Allreduce, then clamp.
+		if err := world.Allreduce(colNorm.Data); err != nil {
+			return err
+		}
+		for i, c := range colNorm.Data {
+			if c < normFloor {
+				colNorm.Data[i] = normFloor
+			}
+		}
+
+		// Replicated image.
+		x, err := volume.New(sys.NX, sys.NY, sys.NZ)
+		if err != nil {
+			return err
+		}
+		if opts.Initial != nil {
+			if !opts.Initial.SameShape(x) {
+				return fmt.Errorf("iterative: initial volume mismatch")
+			}
+			copy(x.Data, opts.Initial.Data)
+		}
+
+		for it := 0; it < opts.Iterations; it++ {
+			proj, err := forward.ProjectVolumeSubset(sys, x, opts.Step, opts.Workers, ps)
+			if err != nil {
+				return err
+			}
+			var localSq float64
+			for i := range proj.Data {
+				r := meas.Data[i] - proj.Data[i]
+				localSq += float64(r) * float64(r)
+				proj.Data[i] = r / rowNorm.Data[i]
+			}
+			z, err := volume.New(sys.NX, sys.NY, sys.NZ)
+			if err != nil {
+				return err
+			}
+			if err := backproject.Batch(dev, proj, mats, z); err != nil {
+				return err
+			}
+			// Global update and residual.
+			if err := world.Allreduce(z.Data); err != nil {
+				return err
+			}
+			sq := []float32{float32(localSq)}
+			if err := world.Allreduce(sq); err != nil {
+				return err
+			}
+			for i := range x.Data {
+				x.Data[i] += float32(lambda) * z.Data[i] / colNorm.Data[i]
+				if opts.NonNegative && x.Data[i] < 0 {
+					x.Data[i] = 0
+				}
+			}
+			rel := math.Sqrt(float64(sq[0])) / bNorm
+			if rank == 0 {
+				final.Residuals = append(final.Residuals, rel)
+				final.Iterations = it + 1
+			}
+			stop := opts.Callback != nil && rank == 0 && !opts.Callback(it, rel)
+			// Keep termination collective: rank 0 broadcasts the
+			// decision so every rank leaves the loop together.
+			flag := []float32{0}
+			if stop {
+				flag[0] = 1
+			}
+			if err := world.Bcast(0, flag); err != nil {
+				return err
+			}
+			if flag[0] != 0 {
+				break
+			}
+		}
+		if rank == 0 {
+			copy(final.Volume.Data, x.Data)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return final, nil
+}
+
+// extractAngles copies the listed global projections into a compact stack
+// in list order.
+func extractAngles(measured *projection.Stack, ps []int) (*projection.Stack, error) {
+	out, err := projection.NewStack(measured.NU, len(ps), measured.NV)
+	if err != nil {
+		return nil, err
+	}
+	for v := 0; v < measured.NV; v++ {
+		for idx, p := range ps {
+			src, err := measured.Row(v, p)
+			if err != nil {
+				return nil, err
+			}
+			dst, _ := out.Row(v, idx)
+			copy(dst, src)
+		}
+	}
+	return out, nil
+}

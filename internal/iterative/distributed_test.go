@@ -1,0 +1,114 @@
+package iterative
+
+import (
+	"math"
+	"testing"
+
+	"distfdk/internal/phantom"
+	"distfdk/internal/projection"
+	"distfdk/internal/volume"
+)
+
+func TestDistributedValidation(t *testing.T) {
+	sys := testSystem()
+	st := measuredStack(t, sys, phantom.UniformSphere(0.4, 1))
+	cases := []ClusterOptions{
+		{Ranks: 0, Options: Options{Iterations: 2}},
+		{Ranks: 1000, Options: Options{Iterations: 2}},
+		{Ranks: 2, Options: Options{Iterations: 0}},
+		{Ranks: 2, Options: Options{Iterations: 2, Relaxation: 3}},
+		{Ranks: 2, Options: Options{Iterations: 2, Subsets: 4}},
+	}
+	for i, opts := range cases {
+		if _, err := ReconstructDistributed(sys, st, opts); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Zero data short-circuits.
+	zero, _ := projection.NewStack(sys.NU, sys.NP, sys.NV)
+	res, err := ReconstructDistributed(sys, zero, ClusterOptions{Ranks: 2, Options: Options{Iterations: 2}})
+	if err != nil || res.Iterations != 0 {
+		t.Fatalf("zero data: %v, %d iterations", err, res.Iterations)
+	}
+}
+
+// Distributed SIRT must match the single-process algorithm: same residual
+// trajectory and (up to reduction-tree float32 reassociation) the same
+// image.
+func TestDistributedMatchesSingle(t *testing.T) {
+	sys := testSystem()
+	st := measuredStack(t, sys, phantom.SheppLogan())
+	const iters = 3
+	single, err := Reconstruct(sys, st, Options{Iterations: iters, Relaxation: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ranks := range []int{1, 2, 4} {
+		dist, err := ReconstructDistributed(sys, st, ClusterOptions{
+			Ranks:   ranks,
+			Options: Options{Iterations: iters, Relaxation: 0.9},
+		})
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		if len(dist.Residuals) != iters {
+			t.Fatalf("ranks=%d: %d residuals", ranks, len(dist.Residuals))
+		}
+		for i := range dist.Residuals {
+			if math.Abs(dist.Residuals[i]-single.Residuals[i]) > 1e-4*(1+single.Residuals[i]) {
+				t.Fatalf("ranks=%d iter %d: residual %g vs single %g",
+					ranks, i, dist.Residuals[i], single.Residuals[i])
+			}
+		}
+		stats, err := volume.Compare(single.Volume, dist.Volume)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.RMSE > 1e-5 {
+			t.Fatalf("ranks=%d: image RMSE %g vs single-process SIRT", ranks, stats.RMSE)
+		}
+	}
+}
+
+func TestDistributedEarlyStopIsCollective(t *testing.T) {
+	sys := testSystem()
+	st := measuredStack(t, sys, phantom.UniformSphere(0.4, 1))
+	res, err := ReconstructDistributed(sys, st, ClusterOptions{
+		Ranks: 3,
+		Options: Options{
+			Iterations: 10,
+			Callback:   func(it int, rel float64) bool { return it < 1 },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 2 {
+		t.Fatalf("iterations = %d, want 2 (stop after second)", res.Iterations)
+	}
+}
+
+func TestDistributedNonNegativeAndWarmStart(t *testing.T) {
+	sys := testSystem()
+	ph := phantom.UniformSphere(0.5, 1.5)
+	st := measuredStack(t, sys, ph)
+	truth, err := ph.Voxelize(sys, scale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReconstructDistributed(sys, st, ClusterOptions{
+		Ranks:   2,
+		Options: Options{Iterations: 2, NonNegative: true, Initial: truth},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range res.Volume.Data {
+		if x < 0 {
+			t.Fatalf("voxel %d negative: %g", i, x)
+		}
+	}
+	if res.Residuals[0] > 0.5 {
+		t.Fatalf("warm start residual %g unexpectedly high", res.Residuals[0])
+	}
+}

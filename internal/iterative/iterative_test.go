@@ -1,0 +1,185 @@
+package iterative
+
+import (
+	"math"
+	"testing"
+
+	"distfdk/internal/forward"
+	"distfdk/internal/geometry"
+	"distfdk/internal/phantom"
+	"distfdk/internal/projection"
+	"distfdk/internal/volume"
+)
+
+func testSystem() *geometry.System {
+	return &geometry.System{
+		DSO: 250, DSD: 350,
+		NU: 36, NV: 30, DU: 0.6, DV: 0.6,
+		NP: 16,
+		NX: 20, NY: 20, NZ: 16, DX: 0.5, DY: 0.5, DZ: 0.5,
+	}
+}
+
+const scale = 4.0
+
+func measuredStack(t testing.TB, sys *geometry.System, ph *phantom.Phantom) *projection.Stack {
+	t.Helper()
+	st, err := forward.Project(sys, ph, scale, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestOptionValidation(t *testing.T) {
+	sys := testSystem()
+	st := measuredStack(t, sys, phantom.UniformSphere(0.4, 1))
+	cases := []Options{
+		{Iterations: 0},
+		{Iterations: 3, Relaxation: -1},
+		{Iterations: 3, Relaxation: 2.5},
+		{Iterations: 3, Subsets: 100},
+	}
+	for i, opts := range cases {
+		if _, err := Reconstruct(sys, st, opts); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Mismatched stack.
+	bad, _ := projection.NewStack(8, sys.NP, sys.NV)
+	if _, err := Reconstruct(sys, bad, Options{Iterations: 1}); err == nil {
+		t.Error("expected stack mismatch error")
+	}
+	// Mismatched initial volume.
+	wrong, _ := volume.New(4, 4, 4)
+	if _, err := Reconstruct(sys, st, Options{Iterations: 1, Initial: wrong}); err == nil {
+		t.Error("expected initial-volume mismatch error")
+	}
+	// Zero data converges trivially.
+	zero, _ := projection.NewStack(sys.NU, sys.NP, sys.NV)
+	res, err := Reconstruct(sys, zero, Options{Iterations: 3})
+	if err != nil || res.Iterations != 0 {
+		t.Fatalf("zero data: %v, %d iterations", err, res.Iterations)
+	}
+}
+
+// SIRT's relative residual must decrease monotonically at λ < 1.
+func TestSIRTResidualDecreases(t *testing.T) {
+	sys := testSystem()
+	st := measuredStack(t, sys, phantom.UniformSphere(0.45, 1.2))
+	res, err := Reconstruct(sys, st, Options{Iterations: 6, Relaxation: 0.8, NonNegative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Residuals) != 6 {
+		t.Fatalf("recorded %d residuals, want 6", len(res.Residuals))
+	}
+	// Residuals are recorded before each pass's update: the first, from
+	// the zero image, is exactly 1.
+	if math.Abs(res.Residuals[0]-1) > 1e-6 {
+		t.Fatalf("zero-image residual %g, want 1", res.Residuals[0])
+	}
+	for i := 1; i < len(res.Residuals); i++ {
+		if res.Residuals[i] >= res.Residuals[i-1] {
+			t.Fatalf("residuals not monotone: %v", res.Residuals)
+		}
+	}
+	if last := res.Residuals[len(res.Residuals)-1]; last > 0.4 {
+		t.Fatalf("residual after 6 passes still %g", last)
+	}
+}
+
+// The reconstruction must approach the phantom: interior density recovered
+// within a modest tolerance after a handful of iterations.
+func TestSIRTRecoversDensity(t *testing.T) {
+	sys := testSystem()
+	ph := phantom.UniformSphere(0.5, 1.5)
+	st := measuredStack(t, sys, ph)
+	res, err := Reconstruct(sys, st, Options{Iterations: 12, NonNegative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(res.Volume.At(sys.NX/2, sys.NY/2, sys.NZ/2))
+	if math.Abs(got-1.5)/1.5 > 0.15 {
+		t.Fatalf("centre density %g, want 1.5±15%%", got)
+	}
+	// Outside the object the image stays near zero.
+	if bg := math.Abs(float64(res.Volume.At(0, 0, sys.NZ/2))); bg > 0.2 {
+		t.Fatalf("background %g, want ≈0", bg)
+	}
+}
+
+// OS-SART with several subsets must converge faster per full pass than
+// SIRT (the whole point of ordered subsets).
+func TestOrderedSubsetsAccelerate(t *testing.T) {
+	sys := testSystem()
+	st := measuredStack(t, sys, phantom.SheppLogan())
+	const iters = 4
+	sirt, err := Reconstruct(sys, st, Options{Iterations: iters, Relaxation: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ossart, err := Reconstruct(sys, st, Options{Iterations: iters, Relaxation: 0.9, Subsets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ossart.Residuals[iters-1] >= sirt.Residuals[iters-1] {
+		t.Fatalf("OS-SART residual %g not below SIRT %g after %d passes",
+			ossart.Residuals[iters-1], sirt.Residuals[iters-1], iters)
+	}
+}
+
+// Warm-starting from a better initial image must start at a lower residual.
+func TestInitialVolumeWarmStart(t *testing.T) {
+	sys := testSystem()
+	ph := phantom.UniformSphere(0.5, 1.5)
+	st := measuredStack(t, sys, ph)
+	cold, err := Reconstruct(sys, st, Options{Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := ph.Voxelize(sys, scale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Reconstruct(sys, st, Options{Iterations: 1, Initial: truth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Residuals[0] >= cold.Residuals[0] {
+		t.Fatalf("warm start residual %g not below cold %g", warm.Residuals[0], cold.Residuals[0])
+	}
+}
+
+func TestCallbackEarlyStop(t *testing.T) {
+	sys := testSystem()
+	st := measuredStack(t, sys, phantom.UniformSphere(0.4, 1))
+	calls := 0
+	res, err := Reconstruct(sys, st, Options{
+		Iterations: 10,
+		Callback: func(iter int, rel float64) bool {
+			calls++
+			return iter < 2 // stop after the third iteration
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 || res.Iterations != 3 {
+		t.Fatalf("callback calls %d, iterations %d; want 3, 3", calls, res.Iterations)
+	}
+}
+
+func TestNonNegativeConstraint(t *testing.T) {
+	sys := testSystem()
+	st := measuredStack(t, sys, phantom.SheppLogan())
+	res, err := Reconstruct(sys, st, Options{Iterations: 3, NonNegative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range res.Volume.Data {
+		if x < 0 {
+			t.Fatalf("voxel %d negative (%g) despite constraint", i, x)
+		}
+	}
+}

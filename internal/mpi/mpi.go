@@ -1,0 +1,366 @@
+// Package mpi is an in-process message-passing runtime standing in for MPI
+// in the paper's distributed framework. Ranks are goroutines; communicators
+// carry typed point-to-point channels plus the collectives the paper uses:
+// Barrier, Bcast, binomial-tree Reduce (and the hierarchical node-leader
+// variant of Section 4.4.2), Allreduce, Gather and CommSplit (the grouping
+// of Section 4.4.1). All collectives move and reduce real data, and every
+// rank keeps byte/message counters so communication-volume experiments
+// (Table 2's complexity column) measure actual traffic.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// message is one point-to-point transfer.
+type message struct {
+	tag  int
+	data any
+}
+
+// Stats counts a rank's traffic on one communicator.
+type Stats struct {
+	BytesSent    int64
+	BytesRecv    int64
+	MessagesSent int64
+	MessagesRecv int64
+}
+
+// Comm is a communicator endpoint bound to one rank, analogous to an
+// MPI_Comm plus the owning rank's identity.
+type Comm struct {
+	rank, size int
+	group      *group
+	stats      *Stats
+}
+
+// group is the shared state of a communicator: the channel matrix and the
+// split-coordination state.
+type group struct {
+	size  int
+	chans [][]chan message // chans[dst][src]
+	stats []*Stats
+
+	splitMu      sync.Mutex
+	splitPending map[int]*splitGather // keyed by split sequence number
+	splitSeq     []int                // per-rank split call count
+}
+
+type splitGather struct {
+	entries map[int][2]int // rank -> (color, key)
+	done    chan struct{}
+	result  map[int]*Comm // rank -> new comm
+}
+
+const chanBuffer = 8
+
+func newGroup(size int) *group {
+	g := &group{size: size, splitPending: map[int]*splitGather{}, splitSeq: make([]int, size)}
+	g.chans = make([][]chan message, size)
+	g.stats = make([]*Stats, size)
+	for d := 0; d < size; d++ {
+		g.chans[d] = make([]chan message, size)
+		for s := 0; s < size; s++ {
+			g.chans[d][s] = make(chan message, chanBuffer)
+		}
+		g.stats[d] = &Stats{}
+	}
+	return g
+}
+
+func (g *group) comm(rank int) *Comm {
+	return &Comm{rank: rank, size: g.size, group: g, stats: g.stats[rank]}
+}
+
+// Run launches fn on n ranks of a fresh world communicator and waits for
+// all of them, joining any errors (MPI_Init/Finalize equivalent).
+func Run(n int, fn func(c *Comm) error) error {
+	if n <= 0 {
+		return fmt.Errorf("mpi: world size %d must be positive", n)
+	}
+	g := newGroup(n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, p)
+				}
+			}()
+			errs[r] = fn(g.comm(r))
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Rank returns this endpoint's rank in the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.size }
+
+// Stats returns a copy of this rank's traffic counters on this
+// communicator.
+func (c *Comm) Stats() Stats { return *c.stats }
+
+// payloadBytes estimates the wire size of a payload for the traffic
+// counters.
+func payloadBytes(data any) int64 {
+	switch v := data.(type) {
+	case nil:
+		return 0
+	case []float32:
+		return int64(len(v)) * 4
+	case []float64:
+		return int64(len(v)) * 8
+	case []byte:
+		return int64(len(v))
+	case []int:
+		return int64(len(v)) * 8
+	case int, int32, int64, float32, float64, bool:
+		return 8
+	case string:
+		return int64(len(v))
+	default:
+		return 0
+	}
+}
+
+// Send delivers data to rank dst with the given tag. Sends are buffered;
+// a full buffer blocks until the receiver drains it, like MPI_Send's
+// rendezvous mode.
+func (c *Comm) Send(dst, tag int, data any) error {
+	if dst < 0 || dst >= c.size {
+		return fmt.Errorf("mpi: send to rank %d outside world of %d", dst, c.size)
+	}
+	if dst == c.rank {
+		return fmt.Errorf("mpi: rank %d sending to itself", c.rank)
+	}
+	c.group.chans[dst][c.rank] <- message{tag: tag, data: data}
+	c.stats.BytesSent += payloadBytes(data)
+	c.stats.MessagesSent++
+	return nil
+}
+
+// Recv blocks for the next message from rank src and verifies its tag,
+// catching protocol mismatches immediately instead of corrupting data.
+func (c *Comm) Recv(src, tag int) (any, error) {
+	if src < 0 || src >= c.size {
+		return nil, fmt.Errorf("mpi: recv from rank %d outside world of %d", src, c.size)
+	}
+	if src == c.rank {
+		return nil, fmt.Errorf("mpi: rank %d receiving from itself", c.rank)
+	}
+	m := <-c.group.chans[c.rank][src]
+	if m.tag != tag {
+		return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag)
+	}
+	c.stats.BytesRecv += payloadBytes(m.data)
+	c.stats.MessagesRecv++
+	return m.data, nil
+}
+
+// RecvFloat32 receives and type-asserts a []float32 payload.
+func (c *Comm) RecvFloat32(src, tag int) ([]float32, error) {
+	data, err := c.Recv(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := data.([]float32)
+	if !ok {
+		return nil, fmt.Errorf("mpi: rank %d expected []float32 from %d, got %T", c.rank, src, data)
+	}
+	return v, nil
+}
+
+const (
+	tagBarrier = -1
+	tagBcast   = -2
+	tagReduce  = -3
+	tagGather  = -4
+)
+
+// Barrier blocks until every rank of the communicator has entered it
+// (dissemination algorithm, O(log N) rounds).
+func (c *Comm) Barrier() error {
+	for step := 1; step < c.size; step <<= 1 {
+		dst := (c.rank + step) % c.size
+		src := (c.rank - step + c.size) % c.size
+		if err := c.Send(dst, tagBarrier, nil); err != nil {
+			return err
+		}
+		if _, err := c.Recv(src, tagBarrier); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast distributes root's buffer to every rank over a binomial tree. All
+// ranks pass a buffer of identical length; non-root buffers are
+// overwritten.
+func (c *Comm) Bcast(root int, buf []float32) error {
+	if root < 0 || root >= c.size {
+		return fmt.Errorf("mpi: bcast root %d outside world of %d", root, c.size)
+	}
+	rel := (c.rank - root + c.size) % c.size
+	// Receive phase: find the step at which this rank gets the data.
+	mask := 1
+	for ; mask < c.size; mask <<= 1 {
+		if rel&mask != 0 {
+			src := (c.rank - mask + c.size) % c.size
+			data, err := c.RecvFloat32(src, tagBcast)
+			if err != nil {
+				return err
+			}
+			if len(data) != len(buf) {
+				return fmt.Errorf("mpi: bcast buffer length %d, expected %d", len(data), len(buf))
+			}
+			copy(buf, data)
+			break
+		}
+	}
+	// Forward phase: relay to the sub-tree below this rank.
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if rel+mask < c.size {
+			dst := (c.rank + mask) % c.size
+			out := append([]float32(nil), buf...)
+			if err := c.Send(dst, tagBcast, out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Reduce sums every rank's buf element-wise into root's buf over a binomial
+// tree (O(log N) rounds — the communication bound of Table 2's last row).
+// Non-root buffers are left unmodified. This is the segmented MPI_Reduce of
+// the paper when called on a group communicator created by Split.
+func (c *Comm) Reduce(root int, buf []float32) error {
+	if root < 0 || root >= c.size {
+		return fmt.Errorf("mpi: reduce root %d outside world of %d", root, c.size)
+	}
+	rel := (c.rank - root + c.size) % c.size
+	// Accumulate into a private buffer so non-root callers keep theirs.
+	acc := buf
+	if rel != 0 {
+		acc = append([]float32(nil), buf...)
+	}
+	for step := 1; step < c.size; step <<= 1 {
+		if rel&step != 0 {
+			dst := (c.rank - step + c.size) % c.size
+			return c.Send(dst, tagReduce, acc)
+		}
+		if rel+step < c.size {
+			src := (c.rank + step) % c.size
+			data, err := c.RecvFloat32(src, tagReduce)
+			if err != nil {
+				return err
+			}
+			if len(data) != len(acc) {
+				return fmt.Errorf("mpi: reduce buffer length %d, expected %d", len(data), len(acc))
+			}
+			for i, x := range data {
+				acc[i] += x
+			}
+		}
+	}
+	return nil
+}
+
+// Allreduce sums every rank's buffer into all ranks (Reduce to 0 + Bcast).
+func (c *Comm) Allreduce(buf []float32) error {
+	if err := c.Reduce(0, buf); err != nil {
+		return err
+	}
+	return c.Bcast(0, buf)
+}
+
+// Gather collects every rank's buffer at root; the result at root is
+// indexed by rank, nil elsewhere.
+func (c *Comm) Gather(root int, buf []float32) ([][]float32, error) {
+	if root < 0 || root >= c.size {
+		return nil, fmt.Errorf("mpi: gather root %d outside world of %d", root, c.size)
+	}
+	if c.rank != root {
+		return nil, c.Send(root, tagGather, append([]float32(nil), buf...))
+	}
+	out := make([][]float32, c.size)
+	out[root] = append([]float32(nil), buf...)
+	for src := 0; src < c.size; src++ {
+		if src == root {
+			continue
+		}
+		data, err := c.RecvFloat32(src, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = data
+	}
+	return out, nil
+}
+
+// HierarchicalReduce performs the paper's two-level reduction
+// (Section 4.4.2): ranks on the same "node" (consecutive groups of
+// ranksPerNode) first reduce to their node leader, then the leaders reduce
+// to root over a binomial tree. root must be a node leader. The result
+// lands in root's buf; other buffers are unmodified.
+func (c *Comm) HierarchicalReduce(root int, buf []float32, ranksPerNode int) error {
+	if ranksPerNode <= 0 {
+		return fmt.Errorf("mpi: ranksPerNode %d must be positive", ranksPerNode)
+	}
+	if root%ranksPerNode != 0 {
+		return fmt.Errorf("mpi: hierarchical root %d is not a node leader (rpn=%d)", root, ranksPerNode)
+	}
+	leader := c.rank / ranksPerNode * ranksPerNode
+	if c.rank != leader {
+		return c.Send(leader, tagReduce, append([]float32(nil), buf...))
+	}
+	// Leader: absorb node members.
+	acc := buf
+	if c.rank != root {
+		acc = append([]float32(nil), buf...)
+	}
+	nodeEnd := min(leader+ranksPerNode, c.size)
+	for src := leader + 1; src < nodeEnd; src++ {
+		data, err := c.RecvFloat32(src, tagReduce)
+		if err != nil {
+			return err
+		}
+		if len(data) != len(acc) {
+			return fmt.Errorf("mpi: hierarchical buffer length %d, expected %d", len(data), len(acc))
+		}
+		for i, x := range data {
+			acc[i] += x
+		}
+	}
+	// Inter-leader binomial tree on leader indices.
+	nLeaders := (c.size + ranksPerNode - 1) / ranksPerNode
+	myLeaderIdx := leader / ranksPerNode
+	rootLeaderIdx := root / ranksPerNode
+	rel := (myLeaderIdx - rootLeaderIdx + nLeaders) % nLeaders
+	for step := 1; step < nLeaders; step <<= 1 {
+		if rel&step != 0 {
+			dstIdx := (myLeaderIdx - step + nLeaders) % nLeaders
+			return c.Send(dstIdx*ranksPerNode, tagReduce, acc)
+		}
+		if rel+step < nLeaders {
+			srcIdx := (myLeaderIdx + step) % nLeaders
+			data, err := c.RecvFloat32(srcIdx*ranksPerNode, tagReduce)
+			if err != nil {
+				return err
+			}
+			for i, x := range data {
+				acc[i] += x
+			}
+		}
+	}
+	return nil
+}

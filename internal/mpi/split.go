@@ -1,0 +1,67 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Split partitions the communicator into sub-communicators by color, the
+// MPI_Comm_split used in Section 4.4.1 to form the paper's rank groups
+// (color = rank/Nr there). Ranks passing the same color form a new
+// communicator whose rank order follows (key, parent rank). Every rank of
+// the parent must call Split collectively; calls are matched by sequence
+// number, so repeated splits are safe.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	g := c.group
+
+	g.splitMu.Lock()
+	seq := g.splitSeq[c.rank]
+	g.splitSeq[c.rank]++
+	gather, ok := g.splitPending[seq]
+	if !ok {
+		gather = &splitGather{
+			entries: map[int][2]int{},
+			done:    make(chan struct{}),
+			result:  map[int]*Comm{},
+		}
+		g.splitPending[seq] = gather
+	}
+	if _, dup := gather.entries[c.rank]; dup {
+		g.splitMu.Unlock()
+		return nil, fmt.Errorf("mpi: rank %d called Split twice in one collective", c.rank)
+	}
+	gather.entries[c.rank] = [2]int{color, key}
+	if len(gather.entries) == g.size {
+		buildSplit(gather)
+		delete(g.splitPending, seq)
+		close(gather.done)
+	}
+	g.splitMu.Unlock()
+
+	<-gather.done
+	return gather.result[c.rank], nil
+}
+
+// buildSplit materialises the sub-communicators once all ranks have
+// deposited their (color, key).
+func buildSplit(gather *splitGather) {
+	byColor := map[int][]int{} // color -> parent ranks
+	for rank, ck := range gather.entries {
+		byColor[ck[0]] = append(byColor[ck[0]], rank)
+	}
+	for color, ranks := range byColor {
+		sort.Slice(ranks, func(i, j int) bool {
+			ki := gather.entries[ranks[i]][1]
+			kj := gather.entries[ranks[j]][1]
+			if ki != kj {
+				return ki < kj
+			}
+			return ranks[i] < ranks[j]
+		})
+		sub := newGroup(len(ranks))
+		for newRank, parentRank := range ranks {
+			gather.result[parentRank] = sub.comm(newRank)
+		}
+		_ = color
+	}
+}

@@ -1,0 +1,49 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"distfdk/internal/geometry"
+)
+
+// BaselineRuntime models the batch-decomposition frameworks of Table 2
+// (iFDK / Lu et al.) at paper scale: ranks split only the Np axis, every
+// rank holds full-height projections, the volume is processed in `chunks`
+// Z chunks with the rank's whole share re-uploaded per chunk, each chunk
+// is reduced by one global collective over all ranks (⌈log2 N⌉ rounds of
+// chunk-sized messages) and stored by the single root writer. The stages
+// of one chunk serialise behind the global collective, which is what
+// prevents the end-to-end pipelining the paper's decomposition enables.
+func BaselineRuntime(sys *geometry.System, ranks, chunks int, p Params) (float64, error) {
+	if err := sys.Validate(); err != nil {
+		return 0, err
+	}
+	if ranks <= 0 {
+		return 0, fmt.Errorf("perfmodel: ranks %d must be positive", ranks)
+	}
+	if chunks <= 0 || chunks > sys.NZ {
+		return 0, fmt.Errorf("perfmodel: chunk count %d outside [1,%d]", chunks, sys.NZ)
+	}
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	share := float64(sys.NP) / float64(ranks)
+	shareBytes := float64(eta) * float64(int64(sys.NU)*int64(sys.NV)) * share
+	volBytes := float64(eta) * float64(int64(sys.NX)*int64(sys.NY)*int64(sys.NZ))
+	chunkBytes := volBytes / float64(chunks)
+	updatesPerChunk := float64(int64(sys.NX)*int64(sys.NY)*int64(sys.NZ)) / float64(chunks) * share
+
+	total := shareBytes/p.BWLoad + shareBytes/p.THFilter
+	rounds := 0
+	for n := ranks - 1; n > 0; n >>= 1 {
+		rounds++
+	}
+	for c := 0; c < chunks; c++ {
+		total += shareBytes / p.BWPCI                      // re-upload per chunk
+		total += updatesPerChunk / p.THBP                  // back-projection
+		total += chunkBytes / p.BWPCI                      // D2H
+		total += float64(rounds) * chunkBytes / p.THReduce // global reduce
+		total += chunkBytes / p.BWStore                    // single root writer
+	}
+	return total, nil
+}

@@ -1,0 +1,198 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"distfdk/internal/core"
+	"distfdk/internal/geometry"
+)
+
+// paperSystem returns the tomo_00029 geometry at a 4096³ output — the
+// configuration of Figure 13d.
+func paperSystem() *geometry.System {
+	return &geometry.System{
+		DSO: 100, DSD: 250,
+		NU: 2004, NV: 1335, DU: 0.025, DV: 0.025,
+		NP: 1800,
+		NX: 4096, NY: 4096, NZ: 4096,
+		DX: 0.0025, DY: 0.0025, DZ: 0.0025,
+	}
+}
+
+func modelFor(t testing.TB, ngpus, nr int) *Model {
+	t.Helper()
+	sys := paperSystem()
+	plan, err := core.NewPlan(sys, ngpus/nr, nr, core.DefaultBatchCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(plan, ABCI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := ABCI().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := ABCI()
+	bad.THBP = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("expected validation error")
+	}
+	if _, err := New(nil, ABCI()); err == nil {
+		t.Error("expected nil-plan error")
+	}
+}
+
+func TestBatchTimesPositiveAndDifferential(t *testing.T) {
+	m := modelFor(t, 8, 4)
+	b0 := m.Batch(0, 0)
+	b1 := m.Batch(0, 1)
+	for _, s := range []StageTimes{b0, b1} {
+		if s.Load <= 0 || s.Filter <= 0 || s.BP <= 0 || s.D2H <= 0 || s.Store <= 0 {
+			t.Fatalf("non-positive stage time: %+v", s)
+		}
+	}
+	// Later batches load only the differential rows, so they are
+	// cheaper than the first (Equation 13's two cases).
+	if b1.Load >= b0.Load {
+		t.Fatalf("differential load %g not below first load %g", b1.Load, b0.Load)
+	}
+	if b0.CPU() != b0.Load+b0.Filter || b0.GPU() != b0.H2D+b0.BP+b0.D2H {
+		t.Fatal("aggregate accessors inconsistent")
+	}
+	// Empty batches cost nothing.
+	sys := paperSystem()
+	sys.NZ = 9
+	plan, err := core.NewPlan(sys, 1, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := New(plan, ABCI())
+	if b := m2.Batch(0, 7); b != (StageTimes{}) {
+		t.Fatalf("trailing empty batch has cost %+v", b)
+	}
+}
+
+func TestReduceTimeTree(t *testing.T) {
+	if got := reduceTime(1e9, 1, 1e9); got != 0 {
+		t.Fatalf("single-rank reduce cost %g", got)
+	}
+	// 8 ranks: 3 rounds.
+	if got := reduceTime(1e9, 8, 1e9); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("8-rank reduce %g, want 3", got)
+	}
+	// 5 ranks: ceil(log2(5)) = 3 rounds.
+	if got := reduceTime(1e9, 5, 1e9); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("5-rank reduce %g, want 3", got)
+	}
+}
+
+// The headline scaling insight of Section 5: runtime ∝ 1/Ngpus in the
+// compute-bound regime, flattening once shared I/O dominates.
+func TestStrongScalingShape(t *testing.T) {
+	prev := math.Inf(1)
+	var runtimes []float64
+	for _, ngpus := range []int{16, 32, 64, 128, 256, 512, 1024} {
+		m := modelFor(t, ngpus, 8)
+		rt := m.WorstRuntime()
+		if rt <= 0 {
+			t.Fatalf("ngpus=%d: runtime %g", ngpus, rt)
+		}
+		if rt >= prev {
+			t.Fatalf("ngpus=%d: runtime %g did not improve on %g", ngpus, rt, prev)
+		}
+		runtimes = append(runtimes, rt)
+		prev = rt
+	}
+	// Early doublings are near-linear (speedup ≥ 1.6×), late ones are
+	// not (speedup ≤ 1.9× and degrading).
+	first := runtimes[0] / runtimes[1]
+	last := runtimes[len(runtimes)-2] / runtimes[len(runtimes)-1]
+	if first < 1.6 {
+		t.Fatalf("early doubling speedup %.2f, want near-linear", first)
+	}
+	if last >= first {
+		t.Fatalf("scaling does not flatten: early %.2f vs late %.2f", first, last)
+	}
+}
+
+// Sanity against the paper's headline: tomo_00029 → 4096³ on 1024 GPUs in
+// ~11.5s measured, with the projection somewhat below. The model should
+// land in the same ballpark (seconds, not minutes).
+func TestPaperScaleBallpark(t *testing.T) {
+	m := modelFor(t, 1024, 4)
+	rt := m.WorstRuntime()
+	if rt < 1 || rt > 60 {
+		t.Fatalf("1024-GPU projected runtime %.1fs outside [1,60]s ballpark", rt)
+	}
+}
+
+func TestGUPS(t *testing.T) {
+	sys := paperSystem()
+	updates := float64(int64(sys.NX) * int64(sys.NY) * int64(sys.NZ) * int64(sys.NP))
+	if got := GUPS(sys, 10); math.Abs(got-updates/1e10) > 1e-6 {
+		t.Fatalf("GUPS = %g", got)
+	}
+	if GUPS(sys, 0) != 0 {
+		t.Fatal("GUPS of zero runtime must be 0")
+	}
+}
+
+// The batch baseline's runtime stops improving (and eventually degrades)
+// with more ranks: the global reduce's log2(N) rounds and the single root
+// writer grow with scale while only the kernel shrinks.
+func TestBaselineRuntimeShape(t *testing.T) {
+	sys := paperSystem()
+	var runtimes []float64
+	for _, ranks := range []int{2, 8, 1024} {
+		rt, err := BaselineRuntime(sys, ranks, 8, ABCI())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt <= 0 {
+			t.Fatalf("ranks=%d: runtime %g", ranks, rt)
+		}
+		runtimes = append(runtimes, rt)
+	}
+	if runtimes[1] >= runtimes[0] {
+		t.Fatalf("baseline should still improve 2→8 ranks: %v", runtimes)
+	}
+	if runtimes[2] <= runtimes[1] {
+		t.Fatalf("baseline should degrade 8→1024 ranks (global reduce dominates): %v", runtimes)
+	}
+	// And our decomposition beats it everywhere at scale.
+	m := modelFor(t, 1024, 4)
+	if ours := m.WorstRuntime(); ours >= runtimes[2] {
+		t.Fatalf("our projected runtime %g not below baseline %g at 1024 ranks", ours, runtimes[2])
+	}
+	// Validation.
+	if _, err := BaselineRuntime(sys, 0, 8, ABCI()); err == nil {
+		t.Error("expected ranks error")
+	}
+	if _, err := BaselineRuntime(sys, 8, 0, ABCI()); err == nil {
+		t.Error("expected chunks error")
+	}
+	bad := ABCI()
+	bad.BWStore = 0
+	if _, err := BaselineRuntime(sys, 8, 8, bad); err == nil {
+		t.Error("expected params error")
+	}
+}
+
+func TestMeasureProducesValidParams(t *testing.T) {
+	p, err := Measure(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.THBP < 1e5 {
+		t.Fatalf("implausibly low BP throughput %g", p.THBP)
+	}
+}

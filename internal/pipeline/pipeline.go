@@ -1,0 +1,229 @@
+// Package pipeline implements the end-to-end processing pipeline of
+// Figure 9: a chain of stages (load → filter → back-projection → MPI →
+// store in the paper) connected by bounded FIFO queues, one goroutine per
+// stage, so every batch flows through all stages while different batches
+// occupy different stages concurrently. A Tracer records per-stage spans
+// and renders the Figure 10-style timeline that demonstrates the overlap.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StageFunc processes one batch. It receives the batch index and the
+// payload produced by the previous stage (nil for the first stage) and
+// returns the payload for the next stage.
+type StageFunc func(batch int, in any) (any, error)
+
+// Stage is one named step of the pipeline.
+type Stage struct {
+	Name string
+	Fn   StageFunc
+}
+
+// Pipeline executes its stages over a sequence of batches.
+type Pipeline struct {
+	stages []Stage
+	// QueueDepth bounds each inter-stage FIFO (Figure 9's queues);
+	// defaults to 2, enough to decouple neighbours without unbounded
+	// buffering of multi-gigabyte payloads.
+	QueueDepth int
+	// Tracer, when non-nil, records spans for every (stage, batch).
+	Tracer *Tracer
+}
+
+// New builds a pipeline from the given stages.
+func New(stages ...Stage) (*Pipeline, error) {
+	if len(stages) == 0 {
+		return nil, errors.New("pipeline: no stages")
+	}
+	for i, s := range stages {
+		if s.Fn == nil {
+			return nil, fmt.Errorf("pipeline: stage %d (%q) has no function", i, s.Name)
+		}
+	}
+	return &Pipeline{stages: stages, QueueDepth: 2}, nil
+}
+
+type item struct {
+	batch   int
+	payload any
+}
+
+// Run pushes batches 0..nBatches−1 through every stage and returns the
+// first error from each failing stage. After a stage fails it keeps
+// draining its input so upstream stages never block, preserving liveness.
+func (p *Pipeline) Run(nBatches int) error {
+	if nBatches < 0 {
+		return fmt.Errorf("pipeline: negative batch count %d", nBatches)
+	}
+	depth := p.QueueDepth
+	if depth <= 0 {
+		depth = 2
+	}
+	n := len(p.stages)
+	queues := make([]chan item, n-1)
+	for i := range queues {
+		queues[i] = make(chan item, depth)
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for si := range p.stages {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			stage := p.stages[si]
+			var out chan<- item
+			if si < n-1 {
+				out = queues[si]
+				defer close(queues[si])
+			}
+			process := func(it item) {
+				if errs[si] != nil {
+					return // draining after failure
+				}
+				var end func()
+				if p.Tracer != nil {
+					end = p.Tracer.Span(stage.Name, it.batch)
+				}
+				payload, err := stage.Fn(it.batch, it.payload)
+				if end != nil {
+					end()
+				}
+				if err != nil {
+					errs[si] = fmt.Errorf("pipeline: stage %q batch %d: %w", stage.Name, it.batch, err)
+					return
+				}
+				if out != nil {
+					out <- item{batch: it.batch, payload: payload}
+				}
+			}
+			if si == 0 {
+				for b := 0; b < nBatches; b++ {
+					process(item{batch: b})
+				}
+				return
+			}
+			for it := range queues[si-1] {
+				process(it)
+			}
+		}(si)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Span is one traced execution of a stage on a batch.
+type Span struct {
+	Stage      string
+	Batch      int
+	Start, End time.Duration // relative to the tracer's first span
+}
+
+// Tracer collects spans from concurrent pipeline stages.
+type Tracer struct {
+	mu    sync.Mutex
+	base  time.Time
+	spans []Span
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Span opens a span; the returned function closes it.
+func (t *Tracer) Span(stage string, batch int) func() {
+	start := time.Now()
+	t.mu.Lock()
+	if t.base.IsZero() {
+		t.base = start
+	}
+	base := t.base
+	t.mu.Unlock()
+	return func() {
+		end := time.Now()
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{
+			Stage: stage, Batch: batch,
+			Start: start.Sub(base), End: end.Sub(base),
+		})
+		t.mu.Unlock()
+	}
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Total returns the end time of the last span.
+func (t *Tracer) Total() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total time.Duration
+	for _, s := range t.spans {
+		if s.End > total {
+			total = s.End
+		}
+	}
+	return total
+}
+
+// BusyByStage returns the summed span duration per stage name.
+func (t *Tracer) BusyByStage() map[string]time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := map[string]time.Duration{}
+	for _, s := range t.spans {
+		out[s.Stage] += s.End - s.Start
+	}
+	return out
+}
+
+// RenderASCII draws a Figure 10-style Gantt chart: one row per stage in
+// stageOrder, time on the X axis scaled to width columns, each batch drawn
+// with its index modulo 10.
+func (t *Tracer) RenderASCII(stageOrder []string, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	total := t.Total()
+	if total <= 0 {
+		return "(no spans)\n"
+	}
+	spans := t.Spans()
+	nameW := 0
+	for _, s := range stageOrder {
+		if len(s) > nameW {
+			nameW = len(s)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s  total %v\n", nameW, "", total.Round(time.Millisecond))
+	for _, stage := range stageOrder {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, s := range spans {
+			if s.Stage != stage {
+				continue
+			}
+			lo := int(int64(s.Start) * int64(width) / int64(total))
+			hi := int(int64(s.End) * int64(width) / int64(total))
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi; i++ {
+				row[i] = byte('0' + s.Batch%10)
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, stage, string(row))
+	}
+	return b.String()
+}

@@ -1,0 +1,36 @@
+package projection
+
+import "fmt"
+
+// Rebin2x bins 2×2 detector pixels into one, halving NU and NV (odd
+// trailing pixels are dropped, as detector rebinning does in practice).
+// This is the paper's "Coffee bean 2x" preparation (Figure 13b): double
+// the pixel size to cut the input volume to a quarter, trading resolution
+// for throughput. The caller owns the matching geometry update (halve
+// NU/NV, double DU/DV — dataset.Rebin2x does both).
+func (s *Stack) Rebin2x() (*Stack, error) {
+	if s.NU < 2 || s.NV < 2 {
+		return nil, fmt.Errorf("projection: cannot rebin %dx%d detector", s.NU, s.NV)
+	}
+	nu := s.NU / 2
+	nv := s.NV / 2
+	out := &Stack{NU: nu, NP: s.NP, NV: nv, V0: s.V0 / 2, P0: s.P0}
+	out.Data = make([]float32, nu*s.NP*nv)
+	for v := 0; v < nv; v++ {
+		for p := 0; p < s.NP; p++ {
+			r0, err := s.Row(s.V0+2*v, p)
+			if err != nil {
+				return nil, err
+			}
+			r1, err := s.Row(s.V0+2*v+1, p)
+			if err != nil {
+				return nil, err
+			}
+			dst := out.Data[(v*s.NP+p)*nu : (v*s.NP+p+1)*nu]
+			for u := 0; u < nu; u++ {
+				dst[u] = (r0[2*u] + r0[2*u+1] + r1[2*u] + r1[2*u+1]) / 4
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package projection
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRebin2x(t *testing.T) {
+	s, _ := NewStack(4, 2, 4)
+	fillSequential(s)
+	r, err := s.Rebin2x()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NU != 2 || r.NV != 2 || r.NP != 2 {
+		t.Fatalf("rebinned dims %dx%dx%d", r.NU, r.NP, r.NV)
+	}
+	// Each output pixel is the mean of its 2×2 block.
+	for v := 0; v < 2; v++ {
+		for p := 0; p < 2; p++ {
+			for u := 0; u < 2; u++ {
+				want := (encode(2*v, p, 2*u) + encode(2*v, p, 2*u+1) +
+					encode(2*v+1, p, 2*u) + encode(2*v+1, p, 2*u+1)) / 4
+				if got := r.At(v, p, u); math.Abs(float64(got-want)) > 1e-3 {
+					t.Fatalf("(%d,%d,%d) = %g, want %g", v, p, u, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRebin2xOddDimensionsDropTrailing(t *testing.T) {
+	s, _ := NewStack(5, 1, 3)
+	for i := range s.Data {
+		s.Data[i] = 1
+	}
+	r, err := s.Rebin2x()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NU != 2 || r.NV != 1 {
+		t.Fatalf("odd rebin dims %dx%d", r.NU, r.NV)
+	}
+	for _, x := range r.Data {
+		if x != 1 {
+			t.Fatalf("constant stack rebinned to %g", x)
+		}
+	}
+}
+
+func TestRebin2xErrors(t *testing.T) {
+	s, _ := NewStack(1, 2, 4)
+	if _, err := s.Rebin2x(); err == nil {
+		t.Error("expected too-small detector error")
+	}
+}
+
+// Rebinning preserves the mean signal (it is a local average).
+func TestRebin2xPreservesMean(t *testing.T) {
+	s, _ := NewStack(8, 3, 6)
+	var sum float64
+	for i := range s.Data {
+		s.Data[i] = float32(i % 17)
+		sum += float64(s.Data[i])
+	}
+	r, err := s.Rebin2x()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rsum float64
+	for _, x := range r.Data {
+		rsum += float64(x)
+	}
+	if math.Abs(sum/float64(s.Pixels())-rsum/float64(r.Pixels())) > 1e-4 {
+		t.Fatalf("mean changed: %g vs %g", sum/float64(s.Pixels()), rsum/float64(r.Pixels()))
+	}
+}

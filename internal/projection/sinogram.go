@@ -1,0 +1,72 @@
+package projection
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteSinogramPGM renders the sinogram of global detector row v — the
+// NP×NU image of that row across all projections — as an 8-bit PGM,
+// auto-windowed to the row's value range. Sinograms are the standard
+// inspection view for projection data: acquisition or preprocessing bugs
+// (mis-ordered angles, bad flat-field, wrong rotation centre) show up as
+// broken sinusoids long before they show up in a reconstruction.
+func (s *Stack) WriteSinogramPGM(w io.Writer, v int) error {
+	if v < s.V0 || v >= s.V0+s.NV {
+		return fmt.Errorf("projection: row %d outside stack rows %v", v, s.Rows())
+	}
+	lo, hi := s.At(v, 0, 0), s.At(v, 0, 0)
+	for p := 0; p < s.NP; p++ {
+		row, err := s.Row(v, p)
+		if err != nil {
+			return err
+		}
+		for _, x := range row {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", s.NU, s.NP); err != nil {
+		return err
+	}
+	scale := 255 / (hi - lo)
+	for p := 0; p < s.NP; p++ {
+		row, _ := s.Row(v, p)
+		for _, x := range row {
+			g := (x - lo) * scale
+			if g < 0 {
+				g = 0
+			}
+			if g > 255 {
+				g = 255
+			}
+			if err := bw.WriteByte(byte(g)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveSinogramPGM writes the sinogram of row v to the named file.
+func (s *Stack) SaveSinogramPGM(path string, v int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteSinogramPGM(f, v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,51 @@
+package projection
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteSinogramPGM(t *testing.T) {
+	s, _ := NewStack(6, 4, 3)
+	fillSequential(s)
+	var buf bytes.Buffer
+	if err := s.WriteSinogramPGM(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "P5\n6 4\n255\n") {
+		t.Fatalf("bad header: %q", out[:12])
+	}
+	pix := out[len("P5\n6 4\n255\n"):]
+	if len(pix) != 24 {
+		t.Fatalf("payload %d bytes, want 24", len(pix))
+	}
+	// Values increase with p and u within row 1, so the first pixel
+	// maps to 0 and the last to 255.
+	if pix[0] != 0 || pix[23] != 255 {
+		t.Fatalf("windowing wrong: first %d last %d", pix[0], pix[23])
+	}
+	if err := s.WriteSinogramPGM(&buf, 9); err == nil {
+		t.Error("expected out-of-range row error")
+	}
+	// Constant rows must not divide by zero.
+	c, _ := NewStack(4, 2, 1)
+	buf.Reset()
+	if err := c.WriteSinogramPGM(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveSinogramPGM(t *testing.T) {
+	s, _ := NewStack(4, 3, 2)
+	fillSequential(s)
+	path := filepath.Join(t.TempDir(), "sino.pgm")
+	if err := s.SaveSinogramPGM(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveSinogramPGM(filepath.Join(t.TempDir(), "missing-dir", "x.pgm"), 0); err == nil {
+		t.Error("expected create error")
+	}
+}

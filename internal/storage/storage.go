@@ -1,0 +1,191 @@
+// Package storage provides the persistent-data side of the framework: a
+// projection container whose on-disk layout matches the kernel's (v, p, u)
+// order — so a rank's partial load (detector-row range × projection window)
+// maps to a handful of sequential reads, the property that gives the
+// paper's load stage its O(Nu) input lower bound — and a slab writer that
+// assembles reduced sub-volumes into one output volume the way the store
+// stage writes to the parallel filesystem.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"distfdk/internal/geometry"
+	"distfdk/internal/projection"
+	"distfdk/internal/volume"
+)
+
+// projMagic identifies the projection container: magic + nu/np/nv int32
+// header followed by float32 samples in (v, p, u) order.
+const projMagic = 0x46425031 // "FBP1"
+
+const projHeaderBytes = 16
+
+// WriteStack writes a full projection stack (origin at row 0, projection 0)
+// to the named file.
+func WriteStack(path string, s *projection.Stack) error {
+	if s.V0 != 0 || s.P0 != 0 {
+		return fmt.Errorf("storage: can only persist full stacks at origin, got v0=%d p0=%d", s.V0, s.P0)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	hdr := []int32{projMagic, int32(s.NU), int32(s.NP), int32(s.NV)}
+	if err := binary.Write(f, binary.LittleEndian, hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: write header: %w", err)
+	}
+	if err := binary.Write(f, binary.LittleEndian, s.Data); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: write samples: %w", err)
+	}
+	return f.Close()
+}
+
+// FileSource serves partial projection loads from a WriteStack container.
+// It implements projection.Source and is safe for concurrent use.
+type FileSource struct {
+	f          *os.File
+	nu, np, nv int
+	mu         sync.Mutex
+}
+
+var _ projection.Source = (*FileSource)(nil)
+
+// OpenStack opens a projection container for partial reads.
+func OpenStack(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [4]int32
+	if err := binary.Read(f, binary.LittleEndian, &hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: read header: %w", err)
+	}
+	if hdr[0] != projMagic {
+		f.Close()
+		return nil, fmt.Errorf("storage: bad projection magic %#x", hdr[0])
+	}
+	return &FileSource{f: f, nu: int(hdr[1]), np: int(hdr[2]), nv: int(hdr[3])}, nil
+}
+
+// Close releases the underlying file.
+func (s *FileSource) Close() error { return s.f.Close() }
+
+// Dims implements projection.Source.
+func (s *FileSource) Dims() (int, int, int) { return s.nu, s.np, s.nv }
+
+// LoadRows implements projection.Source: it reads detector rows `rows` of
+// the projection window [pLo, pHi). A full projection window is a single
+// sequential read; a sub-window reads one contiguous segment per row.
+func (s *FileSource) LoadRows(rows geometry.RowRange, pLo, pHi int) (*projection.Stack, error) {
+	if rows.IsEmpty() || rows.Lo < 0 || rows.Hi > s.nv {
+		return nil, fmt.Errorf("storage: rows %v outside detector [0,%d)", rows, s.nv)
+	}
+	if pLo < 0 || pHi > s.np || pLo >= pHi {
+		return nil, fmt.Errorf("storage: projection window [%d,%d) outside [0,%d)", pLo, pHi, s.np)
+	}
+	np := pHi - pLo
+	out := &projection.Stack{
+		NU: s.nu, NP: np, NV: rows.Len(), V0: rows.Lo, P0: pLo,
+		Data: make([]float32, s.nu*np*rows.Len()),
+	}
+	buf := make([]byte, s.nu*np*4)
+	for v := rows.Lo; v < rows.Hi; v++ {
+		off := int64(projHeaderBytes) + (int64(v)*int64(s.np)+int64(pLo))*int64(s.nu)*4
+		s.mu.Lock()
+		_, err := s.f.ReadAt(buf, off)
+		s.mu.Unlock()
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("storage: read row %d: %w", v, err)
+		}
+		dst := out.Data[(v-rows.Lo)*np*s.nu : (v-rows.Lo+1)*np*s.nu]
+		for i := range dst {
+			dst[i] = float32FromBits(buf[i*4 : i*4+4])
+		}
+	}
+	return out, nil
+}
+
+func float32FromBits(b []byte) float32 {
+	bits := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	return bitsToFloat(bits)
+}
+
+// SlabWriter assembles reduced sub-volumes into one raw volume file
+// (volume.ReadRaw-compatible). Slabs may arrive in any order and from
+// concurrent writers, mirroring how independent MPI groups store their
+// slices to the PFS.
+type SlabWriter struct {
+	f          *os.File
+	nx, ny, nz int
+	mu         sync.Mutex
+	written    int
+}
+
+// volHeaderBytes matches volume.WriteRaw's 5-int32 header.
+const volHeaderBytes = 20
+
+// NewSlabWriter creates (truncates) the output file and sizes it for the
+// full volume.
+func NewSlabWriter(path string, nx, ny, nz int) (*SlabWriter, error) {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return nil, fmt.Errorf("storage: volume %dx%dx%d must be positive", nx, ny, nz)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := []int32{0x46424b31, int32(nx), int32(ny), int32(nz), 0}
+	if err := binary.Write(f, binary.LittleEndian, hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(volHeaderBytes + int64(nx)*int64(ny)*int64(nz)*4); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &SlabWriter{f: f, nx: nx, ny: ny, nz: nz}, nil
+}
+
+// WriteSlab stores a sub-volume at its Z0 window.
+func (w *SlabWriter) WriteSlab(slab *volume.Volume) error {
+	if slab.NX != w.nx || slab.NY != w.ny {
+		return fmt.Errorf("storage: slab XY %dx%d does not match volume %dx%d", slab.NX, slab.NY, w.nx, w.ny)
+	}
+	if slab.Z0 < 0 || slab.Z0+slab.NZ > w.nz {
+		return fmt.Errorf("storage: slab window [%d,%d) outside [0,%d)", slab.Z0, slab.Z0+slab.NZ, w.nz)
+	}
+	buf := make([]byte, len(slab.Data)*4)
+	for i, x := range slab.Data {
+		bits := floatToBits(x)
+		buf[i*4] = byte(bits)
+		buf[i*4+1] = byte(bits >> 8)
+		buf[i*4+2] = byte(bits >> 16)
+		buf[i*4+3] = byte(bits >> 24)
+	}
+	off := volHeaderBytes + int64(slab.Z0)*int64(w.nx)*int64(w.ny)*4
+	if _, err := w.f.WriteAt(buf, off); err != nil {
+		return fmt.Errorf("storage: write slab at z=%d: %w", slab.Z0, err)
+	}
+	w.mu.Lock()
+	w.written += slab.NZ
+	w.mu.Unlock()
+	return nil
+}
+
+// WrittenSlices returns the number of Z slices stored so far.
+func (w *SlabWriter) WrittenSlices() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.written
+}
+
+// Close flushes and closes the output file.
+func (w *SlabWriter) Close() error { return w.f.Close() }

@@ -1,0 +1,129 @@
+package volume
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// rawMagic identifies the simple little-endian volume container written by
+// WriteRaw: magic, three int32 dimensions, int32 Z origin, then float32
+// voxels in Z-major order.
+const rawMagic = 0x46424b31 // "FBK1"
+
+// WriteRaw serialises the volume to w in the repository's raw container
+// format.
+func (v *Volume) WriteRaw(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := []int32{rawMagic, int32(v.NX), int32(v.NY), int32(v.NZ), int32(v.Z0)}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return fmt.Errorf("volume: write header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, v.Data); err != nil {
+		return fmt.Errorf("volume: write voxels: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadRaw deserialises a volume written by WriteRaw.
+func ReadRaw(r io.Reader) (*Volume, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [5]int32
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("volume: read header: %w", err)
+	}
+	if hdr[0] != rawMagic {
+		return nil, fmt.Errorf("volume: bad magic %#x", hdr[0])
+	}
+	nx, ny, nz, z0 := int(hdr[1]), int(hdr[2]), int(hdr[3]), int(hdr[4])
+	v, err := NewSlab(nx, ny, nz, z0)
+	if err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, v.Data); err != nil {
+		return nil, fmt.Errorf("volume: read voxels: %w", err)
+	}
+	return v, nil
+}
+
+// SaveRaw writes the volume to the named file.
+func (v *Volume) SaveRaw(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := v.WriteRaw(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadRaw reads a volume from the named file.
+func LoadRaw(path string) (*Volume, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadRaw(f)
+}
+
+// WritePGM renders the k-th XY slice as an 8-bit binary PGM image,
+// windowed to [lo, hi] (pass lo==hi to auto-window to the slice's range).
+// PGM is chosen because it needs no external codecs yet opens in any image
+// viewer — the repository's stand-in for the paper's 3D Slicer inspection
+// (Figures 8 and 11).
+func (v *Volume) WritePGM(w io.Writer, k int, lo, hi float32) error {
+	if k < 0 || k >= v.NZ {
+		return fmt.Errorf("volume: slice %d outside [0,%d)", k, v.NZ)
+	}
+	sl := v.Slice(k)
+	if lo == hi {
+		lo, hi = sl[0], sl[0]
+		for _, x := range sl {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		if lo == hi { // constant slice
+			hi = lo + 1
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", v.NX, v.NY); err != nil {
+		return err
+	}
+	scale := 255 / (hi - lo)
+	for _, x := range sl {
+		g := (x - lo) * scale
+		if g < 0 {
+			g = 0
+		}
+		if g > 255 {
+			g = 255
+		}
+		if err := bw.WriteByte(byte(g)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SavePGM writes the k-th slice to the named PGM file.
+func (v *Volume) SavePGM(path string, k int, lo, hi float32) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := v.WritePGM(f, k, lo, hi); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

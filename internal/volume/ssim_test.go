@@ -1,0 +1,90 @@
+package volume
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomVolume(seed int64) *Volume {
+	v, _ := New(16, 16, 16)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range v.Data {
+		v.Data[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+func TestSSIMIdentityIsOne(t *testing.T) {
+	v := randomVolume(1)
+	s, err := SSIM(v, v.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("SSIM of identical volumes = %g, want 1", s)
+	}
+}
+
+func TestSSIMDegradesWithNoise(t *testing.T) {
+	ref := randomVolume(2)
+	rng := rand.New(rand.NewSource(3))
+	mild := ref.Clone()
+	heavy := ref.Clone()
+	for i := range ref.Data {
+		n := float32(rng.NormFloat64())
+		mild.Data[i] += 0.1 * n
+		heavy.Data[i] += 1.5 * n
+	}
+	sm, err := SSIM(ref, mild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := SSIM(ref, heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(1 > sm && sm > sh) {
+		t.Fatalf("SSIM not ordered: mild %g, heavy %g", sm, sh)
+	}
+	if sh > 0.6 {
+		t.Fatalf("heavy noise SSIM %g suspiciously high", sh)
+	}
+}
+
+func TestSSIMConstantVolumes(t *testing.T) {
+	a, _ := New(8, 8, 8)
+	b, _ := New(8, 8, 8)
+	a.Fill(5)
+	b.Fill(5)
+	s, err := SSIM(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("identical constant volumes SSIM = %g", s)
+	}
+}
+
+func TestSSIMShapeMismatch(t *testing.T) {
+	a, _ := New(8, 8, 8)
+	b, _ := New(8, 8, 4)
+	if _, err := SSIM(a, b); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+// SSIM is symmetric up to the dynamic-range constants; with both volumes
+// sharing a range it is nearly symmetric.
+func TestSSIMNearSymmetry(t *testing.T) {
+	a := randomVolume(4)
+	b := a.Clone()
+	for i := range b.Data {
+		b.Data[i] += 0.2
+	}
+	s1, _ := SSIM(a, b)
+	s2, _ := SSIM(b, a)
+	if math.Abs(s1-s2) > 0.05 {
+		t.Fatalf("SSIM asymmetry: %g vs %g", s1, s2)
+	}
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples clean
+.PHONY: all build test race check bench bench-json experiments examples clean
 
 all: build test
 
@@ -18,8 +18,19 @@ test:
 race:
 	$(GO) test -race ./internal/mpi/ ./internal/pipeline/ ./internal/storage/ ./internal/iterative/
 
+# Full static + race-detector gate: the worker-pool kernel and pipeline
+# stages must stay race-clean everywhere, not just the curated race list.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
 bench:
 	$(GO) test -bench=. -benchmem -timeout 45m ./...
+
+# Append a machine-readable hot-loop record (GUPS, ns/voxel-update,
+# filter rows/s, alloc stats, git commit) to BENCH_kernel.json.
+bench-json:
+	$(GO) run ./cmd/fdkbench -kernel-json BENCH_kernel.json -label "$(BENCH_LABEL)"
 
 # Regenerate every table/figure of the paper's evaluation into artifacts/.
 experiments:

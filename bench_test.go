@@ -10,6 +10,7 @@
 package distfdk
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -36,7 +37,7 @@ var (
 
 func scenario(b *testing.B, name string, div, outN int) *experiments.Scenario {
 	b.Helper()
-	key := name + string(rune(div)) + string(rune(outN))
+	key := fmt.Sprintf("%s/%d/%d", name, div, outN)
 	scenarioMu.Lock()
 	defer scenarioMu.Unlock()
 	if sc, ok := scenarioCache[key]; ok {
@@ -158,6 +159,7 @@ func kernelBench(b *testing.B, streaming bool) {
 	dev := device.New("bench", 0, 0)
 	updates := int64(sys.NX) * int64(sys.NY) * int64(sys.NZ) * int64(sys.NP)
 	b.SetBytes(updates * 4)
+	before := dev.Snapshot()
 
 	if streaming {
 		ring, err := device.NewProjRing(dev, sys.NU, sys.NP, sys.NV)
@@ -185,9 +187,11 @@ func kernelBench(b *testing.B, streaming bool) {
 			}
 		}
 	}
-	perOp := b.Elapsed().Seconds() / float64(b.N)
-	b.ReportMetric(float64(updates)/1e9/perOp, "GUPS")
-	b.ReportMetric(float64(updates)*backproject.FLOPPerUpdate/1e9/perOp, "GFLOPS")
+	// Throughput from the device ledger: the updates the kernel actually
+	// performed across all b.N iterations, not the analytic product.
+	ledger := dev.Snapshot().Sub(before)
+	b.ReportMetric(ledger.GUPS(b.Elapsed()), "GUPS")
+	b.ReportMetric(ledger.GUPS(b.Elapsed())*backproject.FLOPPerUpdate, "GFLOPS")
 }
 
 // BenchmarkFig12RooflineStreaming measures our kernel (Figure 12 △).

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"strings"
 
@@ -25,12 +26,32 @@ func main() {
 	out := flag.String("out", "bench_out", "directory for image/timeline artifacts")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "CPU parallelism")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	kernelJSON := flag.String("kernel-json", "", "run the hot-loop kernel benchmark and append the entry to this JSON file (skips -exp)")
+	label := flag.String("label", "", "label stamped into the -kernel-json entry")
+	reps := flag.Int("reps", 3, "repetitions per -kernel-json measurement (best-of)")
 	flag.Parse()
 
 	if *list {
 		for _, n := range experiments.Names() {
 			fmt.Println(n)
 		}
+		return
+	}
+	if *kernelJSON != "" {
+		entry, err := experiments.RunKernelBench(experiments.KernelBenchOptions{
+			Workers:   *workers,
+			Reps:      *reps,
+			Label:     *label,
+			GitCommit: gitCommit(),
+		})
+		if err == nil {
+			err = experiments.AppendKernelBenchJSON(*kernelJSON, entry)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdkbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(entry.Summary())
 		return
 	}
 	tables, err := experiments.Run(*exp, experiments.RunOptions{OutDir: *out, Workers: *workers})
@@ -41,4 +62,14 @@ func main() {
 	for _, t := range tables {
 		fmt.Println(t.Render())
 	}
+}
+
+// gitCommit resolves the working tree's short commit hash for the bench
+// record, or "unknown" outside a git checkout.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }

@@ -9,10 +9,19 @@
 // monolithic batch reconstruction over the same projections — the
 // equivalence the paper validates against RTK with an RMSE threshold, made
 // exact here because we control both implementations.
+//
+// The inner loop is structured the way the paper's CUDA kernel exploits
+// texture hardware: per detector row the i-loop is split into a precomputed
+// interior span where the whole 2×2 bilinear footprint is guaranteed
+// resident — inlined loads through a precomputed row-offset table, no
+// border branches, per-row-constant dot-product terms hoisted — with the
+// branchy subPixel border path (CUDA's border-zero texture addressing) only
+// on the clipped edges.
 package backproject
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"distfdk/internal/device"
@@ -24,22 +33,29 @@ import (
 // projAccess provides the kernel's view of projection storage. It unifies
 // the ring-buffered device store (slot = v mod H, Listing 1's devPixel) and
 // a linear stack (slot = v − V0) behind one addressing rule so the two
-// kernels share their sampling code.
+// kernels share their sampling code. rowOff caches the storage offset of
+// every readable row, hoisting the modular (ring) or affine (stack) slot
+// arithmetic out of the per-sample path.
 type projAccess struct {
 	data   []float32
 	nu, np int
-	h      int // ring depth; 0 selects linear addressing
-	v0     int // first row for linear addressing
-	lo, hi int // global rows readable [lo, hi)
+	h      int   // ring depth; 0 selects linear addressing
+	v0     int   // first row for linear addressing
+	lo, hi int   // global rows readable [lo, hi)
+	rowOff []int // rowOff[v-lo] = storage offset of global row v
 }
 
 func ringAccess(r *device.ProjRing) projAccess {
 	valid := r.Valid()
-	return projAccess{data: r.RawData(), nu: r.NU, np: r.NP, h: r.H, lo: valid.Lo, hi: valid.Hi}
+	a := projAccess{data: r.RawData(), nu: r.NU, np: r.NP, h: r.H, lo: valid.Lo, hi: valid.Hi}
+	a.buildRowTable()
+	return a
 }
 
 func stackAccess(s *projection.Stack) projAccess {
-	return projAccess{data: s.Data, nu: s.NU, np: s.NP, v0: s.V0, lo: s.V0, hi: s.V0 + s.NV}
+	a := projAccess{data: s.Data, nu: s.NU, np: s.NP, v0: s.V0, lo: s.V0, hi: s.V0 + s.NV}
+	a.buildRowTable()
+	return a
 }
 
 // rowBase returns the storage offset of global detector row v.
@@ -49,6 +65,15 @@ func (a *projAccess) rowBase(v int) int {
 		slot = v % a.h
 	}
 	return slot * a.np * a.nu
+}
+
+// buildRowTable precomputes rowBase for every readable row, so the sampling
+// hot paths index a flat table instead of recomputing the modulo per sample.
+func (a *projAccess) buildRowTable() {
+	a.rowOff = make([]int, a.hi-a.lo)
+	for v := a.lo; v < a.hi; v++ {
+		a.rowOff[v-a.lo] = a.rowBase(v)
+	}
 }
 
 // subPixel is the bilinear interpolation of Algorithm 1 / Listing 1's
@@ -64,8 +89,8 @@ func (a *projAccess) subPixel(x, y float32, s int) float32 {
 
 	if iu >= 0 && iu+1 < a.nu && iv >= a.lo && iv+1 < a.hi {
 		// Fast path: the whole 2×2 footprint is resident.
-		r0 := a.rowBase(iv) + s*a.nu + iu
-		r1 := a.rowBase(iv+1) + s*a.nu + iu
+		r0 := a.rowOff[iv-a.lo] + s*a.nu + iu
+		r1 := a.rowOff[iv+1-a.lo] + s*a.nu + iu
 		t1 := a.data[r0]*(1-eu) + a.data[r0+1]*eu
 		t2 := a.data[r1]*(1-eu) + a.data[r1+1]*eu
 		return t1*(1-ev) + t2*ev
@@ -75,19 +100,98 @@ func (a *projAccess) subPixel(x, y float32, s int) float32 {
 		if u < 0 || u >= a.nu || v < a.lo || v >= a.hi {
 			return 0
 		}
-		return a.data[a.rowBase(v)+s*a.nu+u]
+		return a.data[a.rowOff[v-a.lo]+s*a.nu+u]
 	}
 	t1 := get(iv, iu)*(1-eu) + get(iv, iu+1)*eu
 	t2 := get(iv+1, iu)*(1-eu) + get(iv+1, iu+1)*eu
 	return t1*(1-ev) + t2*ev
 }
 
+// floor32 returns ⌊x⌋ as a float32. The fast path rounds through int32 and
+// is exact on |x| ≤ 2³¹ — orders of magnitude beyond any detector
+// coordinate the kernels produce; inputs outside that domain (including NaN
+// and ±Inf) fall back to math.Floor so the float→int conversion's
+// implementation-defined overflow behaviour is never exercised.
 func floor32(x float32) float32 {
-	i := float32(int32(x))
-	if i > x {
-		i--
+	if x >= -(1<<31) && x < 1<<31 {
+		i := float32(int32(x))
+		if i > x {
+			i--
+		}
+		return i
 	}
-	return i
+	return float32(math.Floor(float64(x)))
+}
+
+// interiorSpan returns the half-open column range [i0, i1) of a detector
+// row whose bilinear footprints are guaranteed fully resident, so the inner
+// loop may sample without border checks. The projected coordinates
+// x = (ax·i+xc)/z and y = (ay·i+yc)/z with z = az·i+zc are linear
+// fractional in i; as long as z stays positive across the row the residency
+// conditions multiply through into linear inequalities in i. The bounds are
+// solved in float64 with a half-pixel safety margin, which dwarfs the
+// float32 evaluation error of the kernel's coordinate arithmetic, so every
+// column inside the span satisfies the exact float32 residency predicate.
+// Rows where z could cross zero get an empty span (fully border-handled).
+func (a *projAccess) interiorSpan(ax, xc, ay, yc, az, zc float64, nx int) (int, int) {
+	const d = 0.5
+	if zc <= 0 || az*float64(nx-1)+zc <= 0 {
+		return 0, 0
+	}
+	lower, upper := 0.0, float64(nx-1)
+	// clip intersects the span with c·i ≤ b (le) or c·i ≥ b (!le).
+	clip := func(c, b float64, le bool) {
+		switch {
+		case c == 0:
+			if (le && b < 0) || (!le && b > 0) {
+				lower, upper = 1, 0 // infeasible
+			}
+		case (c > 0) == le: // upper bound i ≤ b/c
+			if q := b / c; q < upper {
+				upper = q
+			}
+		default: // lower bound i ≥ b/c
+			if q := b / c; q > lower {
+				lower = q
+			}
+		}
+	}
+	// x ≥ d and x ≤ nu−1−d keep iu and iu+1 inside the detector width;
+	// y ≥ lo+d and y ≤ hi−1−d keep iv and iv+1 inside the readable rows.
+	tu := float64(a.nu-1) - d
+	tl := float64(a.lo) + d
+	th := float64(a.hi-1) - d
+	clip(ax-d*az, d*zc-xc, false)
+	clip(ax-tu*az, tu*zc-xc, true)
+	clip(ay-tl*az, tl*zc-yc, false)
+	clip(ay-th*az, th*zc-yc, true)
+	i0 := int(math.Ceil(lower))
+	i1 := int(math.Floor(upper)) + 1
+	if i0 < 0 {
+		i0 = 0
+	}
+	if i1 > nx {
+		i1 = nx
+	}
+	if i0 >= i1 {
+		return 0, 0
+	}
+	return i0, i1
+}
+
+// interiorResident evaluates, with the kernel's exact float32 arithmetic,
+// whether column i's 2×2 footprint is fully resident — the same predicate
+// subPixel's fast path tests. accumulateSlab verifies the analytic span's
+// endpoints with it, making the branch-free interior loop sound even if the
+// float64 span solve were off by a sample.
+func (a *projAccess) interiorResident(i int, ax, xc, ay, yc, az, zc float32) bool {
+	fi := float32(i)
+	rz := 1 / (az*fi + zc)
+	x := (ax*fi + xc) * rz
+	y := (ay*fi + yc) * rz
+	iu := int(floor32(x))
+	iv := int(floor32(y))
+	return iu >= 0 && iu+1 < a.nu && iv >= a.lo && iv+1 < a.hi
 }
 
 // accumulateSlab runs the shared inner loop: for every voxel of slab
@@ -108,33 +212,87 @@ func accumulateSlab(dev *device.Device, a projAccess, mats []geometry.Mat34x4, s
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for k := w; k < slab.NZ; k += workers {
-				kf := float32(slab.Z0 + k) // K = k + offset_volume_z
-				for j := 0; j < slab.NY; j++ {
-					jf := float32(j)
-					out := slab.Data[(k*slab.NY+j)*slab.NX : (k*slab.NY+j+1)*slab.NX]
-					for s := 0; s < a.np; s++ {
-						m := &mats[s]
-						for i := 0; i < slab.NX; i++ {
-							// Equation 8, evaluated as the same
-							// left-to-right float32 dot products as
-							// Listing 1's dot(float4, float4), so
-							// decomposed and monolithic runs agree
-							// bit-for-bit.
-							fi := float32(i)
-							z := m.R2[0]*fi + m.R2[1]*jf + m.R2[2]*kf + m.R2[3]
-							x := (m.R0[0]*fi + m.R0[1]*jf + m.R0[2]*kf + m.R0[3]) / z
-							y := (m.R1[0]*fi + m.R1[1]*jf + m.R1[2]*kf + m.R1[3]) / z
-							out[i] += 1 / (z * z) * a.subPixel(x, y, s)
-						}
-					}
-				}
-			}
+			a.accumulateSlices(w, workers, mats, slab)
 		}(w)
 	}
 	wg.Wait()
 	dev.RecordKernel(int64(slab.Voxels()) * int64(a.np))
 	return nil
+}
+
+// accumulateSlices back-projects the k slices owned by worker w. Per
+// detector row (fixed j, k, s) the i-loop runs in three pieces: a clipped
+// left border through subPixel, the branch-free interior span, and a
+// clipped right border. The three float32 dot products of Equation 8 are
+// reduced to one multiply-add each by hoisting their per-row-constant
+// terms; the row-offset table replaces per-sample slot arithmetic.
+func (a *projAccess) accumulateSlices(w, workers int, mats []geometry.Mat34x4, slab *volume.Volume) {
+	data := a.data
+	rowOff := a.rowOff
+	lo := a.lo
+	nx := slab.NX
+	for k := w; k < slab.NZ; k += workers {
+		kf := float32(slab.Z0 + k) // K = k + offset_volume_z
+		for j := 0; j < slab.NY; j++ {
+			jf := float32(j)
+			out := slab.Data[(k*slab.NY+j)*slab.NX : (k*slab.NY+j+1)*slab.NX]
+			for s := 0; s < a.np; s++ {
+				m := &mats[s]
+				// Equation 8 with the j- and k-terms of each dot
+				// product folded into one per-row constant; the same
+				// left-to-right float32 evaluation on every path keeps
+				// decomposed and monolithic runs bit-identical.
+				ax, ay, az := m.R0[0], m.R1[0], m.R2[0]
+				xc := m.R0[1]*jf + m.R0[2]*kf + m.R0[3]
+				yc := m.R1[1]*jf + m.R1[2]*kf + m.R1[3]
+				zc := m.R2[1]*jf + m.R2[2]*kf + m.R2[3]
+				i0, i1 := a.interiorSpan(float64(ax), float64(xc), float64(ay), float64(yc), float64(az), float64(zc), nx)
+				for i0 < i1 && !a.interiorResident(i0, ax, xc, ay, yc, az, zc) {
+					i0++
+				}
+				for i0 < i1 && !a.interiorResident(i1-1, ax, xc, ay, yc, az, zc) {
+					i1--
+				}
+				sBase := s * a.nu
+				// One reciprocal replaces the three per-sample divides
+				// (x/z, y/z, 1/z²); every path — border, interior,
+				// residency predicate, and the test reference — shares
+				// the same rounding.
+				for i := 0; i < i0; i++ {
+					fi := float32(i)
+					rz := 1 / (az*fi + zc)
+					x := (ax*fi + xc) * rz
+					y := (ay*fi + yc) * rz
+					out[i] += rz * rz * a.subPixel(x, y, s)
+				}
+				for i := i0; i < i1; i++ {
+					fi := float32(i)
+					rz := 1 / (az*fi + zc)
+					x := (ax*fi + xc) * rz
+					y := (ay*fi + yc) * rz
+					// Residency is guaranteed, so x, y ≥ 0 and plain
+					// truncation is floor — same values subPixel's fast
+					// path would compute, minus its branches.
+					iu := int(x)
+					iv := int(y)
+					eu := x - float32(iu)
+					ev := y - float32(iv)
+					r0 := rowOff[iv-lo] + sBase + iu
+					r1 := rowOff[iv+1-lo] + sBase + iu
+					t1 := data[r0]*(1-eu) + data[r0+1]*eu
+					t2 := data[r1]*(1-eu) + data[r1+1]*eu
+					out[i] += rz * rz * (t1*(1-ev) + t2*ev)
+				}
+				for i := i1; i < nx; i++ {
+					fi := float32(i)
+					rz := 1 / (az*fi + zc)
+					x := (ax*fi + xc) * rz
+					y := (ay*fi + yc) * rz
+					out[i] += rz * rz * a.subPixel(x, y, s)
+				}
+			}
+		}
+	}
 }
 
 // Streaming is the paper's kernel: it back-projects the ring-resident
@@ -163,7 +321,8 @@ func Batch(dev *device.Device, stack *projection.Stack, mats []geometry.Mat34x4,
 }
 
 // FLOPPerUpdate is the floating-point work of one voxel×projection update
-// in the kernels above, used by the roofline analysis (Figure 12): three
-// 4-wide dot products with divides (17), the distance weight (3), and the
-// bilinear blend (10).
-const FLOPPerUpdate = 30
+// in the restructured kernel above, used by the roofline analysis
+// (Figure 12): one multiply-add per hoisted dot product with the shared
+// reciprocal folded in (8), the distance weight (2), and the bilinear blend
+// (10).
+const FLOPPerUpdate = 20

@@ -52,12 +52,35 @@ func TestFloor32(t *testing.T) {
 	}
 }
 
+// floor32 must agree with math.Floor over its whole domain, including
+// values far outside int32 range where the int32 fast path cannot be used,
+// and must stay total on non-finite inputs.
+func TestFloor32OutsideInt32Range(t *testing.T) {
+	exts := []float32{
+		-2.5e9, 2.5e9, 1e12, -1e12, 3.4e38, -3.4e38,
+		2147483648, -2147483648, -2147483904, 2147483904,
+		float32(math.Inf(1)), float32(math.Inf(-1)),
+		1e9 + 0.5, -1e9 - 0.5, 16777215.5, -16777215.5,
+	}
+	for _, in := range exts {
+		got := floor32(in)
+		want := float32(math.Floor(float64(in)))
+		if got != want {
+			t.Errorf("floor32(%g) = %g, want %g", in, got, want)
+		}
+	}
+	if got := floor32(float32(math.NaN())); !math.IsNaN(float64(got)) {
+		t.Errorf("floor32(NaN) = %g, want NaN", got)
+	}
+}
+
 func TestSubPixelBilinear(t *testing.T) {
 	// 2 rows × 1 projection × 2 columns with known corners.
 	a := projAccess{
 		data: []float32{1, 2, 3, 4}, // row0: [1 2], row1: [3 4]
 		nu:   2, np: 1, lo: 0, hi: 2,
 	}
+	a.buildRowTable()
 	// Exact corners.
 	if got := a.subPixel(0, 0, 0); got != 1 {
 		t.Fatalf("corner (0,0) = %g", got)
@@ -81,6 +104,7 @@ func TestSubPixelBorderIsZero(t *testing.T) {
 		data: []float32{5, 5, 5, 5},
 		nu:   2, np: 1, lo: 0, hi: 2,
 	}
+	a.buildRowTable()
 	// Fully outside: zero.
 	for _, xy := range [][2]float32{{-3, 0}, {5, 0}, {0, -3}, {0, 5}} {
 		if got := a.subPixel(xy[0], xy[1], 0); got != 0 {
@@ -94,6 +118,7 @@ func TestSubPixelBorderIsZero(t *testing.T) {
 	}
 	// Row range below lo is not readable even if slots exist.
 	b := projAccess{data: []float32{5, 5, 5, 5}, nu: 2, np: 1, h: 2, lo: 1, hi: 2}
+	b.buildRowTable()
 	if got := b.subPixel(0, 0, 0); math.Abs(float64(got)-2.5) > 1e-6 {
 		// row 0 invalid (0), row 1 valid (5); ev=0 → t1 weight 1 → 0?
 		// y=0 ⇒ iv=0 invalid, iv+1=1 valid but ev=0 ⇒ contribution 0.
@@ -104,18 +129,26 @@ func TestSubPixelBorderIsZero(t *testing.T) {
 }
 
 // naive is a literal float32 transcription of Algorithm 1 (s outermost,
-// per-voxel 1/z²-weighted bilinear accumulation) used as the reference.
+// per-voxel 1/z²-weighted bilinear accumulation) used as the reference. The
+// j- and k-terms of Equation 8's dot products are folded into per-row
+// constants exactly like the production kernel, so the comparison is
+// bit-for-bit.
 func naive(sys *geometry.System, stack *projection.Stack, vol *volume.Volume) {
 	mats := kernelMats(sys)
 	for s := 0; s < sys.NP; s++ {
 		m := mats[s]
 		for k := 0; k < vol.NZ; k++ {
+			fk := float32(vol.Z0 + k)
 			for j := 0; j < vol.NY; j++ {
+				fj := float32(j)
+				xc := m.R0[1]*fj + m.R0[2]*fk + m.R0[3]
+				yc := m.R1[1]*fj + m.R1[2]*fk + m.R1[3]
+				zc := m.R2[1]*fj + m.R2[2]*fk + m.R2[3]
 				for i := 0; i < vol.NX; i++ {
-					fi, fj, fk := float32(i), float32(j), float32(vol.Z0+k)
-					z := m.R2[0]*fi + m.R2[1]*fj + m.R2[2]*fk + m.R2[3]
-					x := (m.R0[0]*fi + m.R0[1]*fj + m.R0[2]*fk + m.R0[3]) / z
-					y := (m.R1[0]*fi + m.R1[1]*fj + m.R1[2]*fk + m.R1[3]) / z
+					fi := float32(i)
+					rz := 1 / (m.R2[0]*fi + zc)
+					x := (m.R0[0]*fi + xc) * rz
+					y := (m.R1[0]*fi + yc) * rz
 					iu := int(math.Floor(float64(x)))
 					iv := int(math.Floor(float64(y)))
 					eu := x - float32(iu)
@@ -129,7 +162,7 @@ func naive(sys *geometry.System, stack *projection.Stack, vol *volume.Volume) {
 					t1 := get(iv, iu)*(1-eu) + get(iv, iu+1)*eu
 					t2 := get(iv+1, iu)*(1-eu) + get(iv+1, iu+1)*eu
 					val := t1*(1-ev) + t2*ev
-					acc := vol.At(i, j, k) + 1/(z*z)*val
+					acc := vol.At(i, j, k) + rz*rz*val
 					vol.Set(i, j, k, acc)
 				}
 			}

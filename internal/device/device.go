@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 )
 
 // ErrOutOfMemory is reported when an allocation would exceed the device's
@@ -125,6 +126,26 @@ func (d *Device) Snapshot() Ledger {
 		KernelLaunches: d.kernelLaunches.Load(),
 		VoxelUpdates:   d.voxelUpdates.Load(),
 	}
+}
+
+// GUPS converts the ledger's voxel-update count into the paper's headline
+// throughput metric: giga voxel×projection updates per second of wall time.
+// It returns 0 when elapsed is non-positive.
+func (l Ledger) GUPS(elapsed time.Duration) float64 {
+	s := elapsed.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(l.VoxelUpdates) / 1e9 / s
+}
+
+// NsPerUpdate is the inverse view of GUPS: nanoseconds of wall time per
+// voxel×projection update. It returns 0 when no updates were recorded.
+func (l Ledger) NsPerUpdate(elapsed time.Duration) float64 {
+	if l.VoxelUpdates <= 0 {
+		return 0
+	}
+	return float64(elapsed.Nanoseconds()) / float64(l.VoxelUpdates)
 }
 
 // Sub returns l − o field-wise, for per-phase accounting.

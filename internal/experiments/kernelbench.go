@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"distfdk/internal/backproject"
+	"distfdk/internal/core"
+	"distfdk/internal/device"
+	"distfdk/internal/filter"
+	"distfdk/internal/volume"
+)
+
+// KernelBenchOptions configures the hot-loop micro-benchmark behind
+// BENCH_kernel.json. The defaults match the root bench harness's
+// BenchmarkTable5OutOfCore scenario so the JSON record and `go test -bench`
+// numbers are directly comparable.
+type KernelBenchOptions struct {
+	// Dataset / Div / OutN select the BuildScenario twin (defaults:
+	// tomo_00030, 8, 64).
+	Dataset   string
+	Div, OutN int
+	// Workers is the kernel execution width (0 = GOMAXPROCS).
+	Workers int
+	// Reps is the number of timed repetitions; the best is recorded
+	// (default 3).
+	Reps int
+	// Label tags the entry ("seed kernels", "interior-span kernel", …).
+	Label string
+	// GitCommit is stamped into the entry (the caller resolves it; the
+	// experiment layer does not shell out).
+	GitCommit string
+}
+
+// BackprojBench is one back-projection kernel measurement.
+type BackprojBench struct {
+	Kernel          string  `json:"kernel"` // "streaming" or "batch"
+	OutN            int     `json:"out_n"`
+	NP              int     `json:"np"`
+	Updates         int64   `json:"updates"`
+	Seconds         float64 `json:"seconds"` // best-of-reps wall time
+	GUPS            float64 `json:"gups"`
+	NsPerUpdate     float64 `json:"ns_per_update"`
+	AllocBytesRep   uint64  `json:"alloc_bytes_per_rep"`
+	AllocObjectsRep uint64  `json:"alloc_objects_per_rep"`
+}
+
+// FilterBench is one detector-row filtering measurement.
+type FilterBench struct {
+	NU              int     `json:"nu"`
+	NV              int     `json:"nv"`
+	Rows            int     `json:"rows"`
+	FFTSize         int     `json:"fft_size"`
+	Seconds         float64 `json:"seconds"` // best-of-reps wall time
+	RowsPerSec      float64 `json:"rows_per_sec"`
+	NsPerRow        float64 `json:"ns_per_row"`
+	AllocBytesRep   uint64  `json:"alloc_bytes_per_rep"`
+	AllocObjectsRep uint64  `json:"alloc_objects_per_rep"`
+}
+
+// KernelBenchEntry is one recorded run of the hot-loop benchmark.
+type KernelBenchEntry struct {
+	Label          string          `json:"label"`
+	GitCommit      string          `json:"git_commit,omitempty"`
+	Timestamp      string          `json:"timestamp"`
+	GoVersion      string          `json:"go_version"`
+	GOMAXPROCS     int             `json:"gomaxprocs"`
+	Workers        int             `json:"workers"`
+	Backprojection []BackprojBench `json:"backprojection"`
+	Filtering      []FilterBench   `json:"filtering"`
+}
+
+// KernelBenchFile is the BENCH_kernel.json envelope: an append-only list of
+// entries so the trajectory across PRs stays in one artifact.
+type KernelBenchFile struct {
+	Entries []*KernelBenchEntry `json:"entries"`
+}
+
+func (o *KernelBenchOptions) fill() {
+	if o.Dataset == "" {
+		o.Dataset = "tomo_00030"
+	}
+	if o.Div <= 0 {
+		o.Div = 8
+	}
+	if o.OutN <= 0 {
+		o.OutN = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Reps <= 0 {
+		o.Reps = 3
+	}
+}
+
+// RunKernelBench measures both back-projection kernels and the row-filter
+// hot loop, reporting the paper's units (GUPS, ns per voxel update, rows/s)
+// plus allocation behaviour.
+func RunKernelBench(opts KernelBenchOptions) (*KernelBenchEntry, error) {
+	opts.fill()
+	entry := &KernelBenchEntry{
+		Label:      opts.Label,
+		GitCommit:  opts.GitCommit,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    opts.Workers,
+	}
+
+	sc, err := BuildScenario(opts.Dataset, opts.Div, opts.OutN, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, streaming := range []bool{true, false} {
+		bp, err := benchBackprojection(sc, streaming, opts)
+		if err != nil {
+			return nil, err
+		}
+		entry.Backprojection = append(entry.Backprojection, *bp)
+	}
+
+	fb, err := benchFiltering(opts.Reps)
+	if err != nil {
+		return nil, err
+	}
+	entry.Filtering = append(entry.Filtering, *fb)
+	return entry, nil
+}
+
+// benchBackprojection times one kernel variant over Reps full
+// back-projections and keeps the best wall time. Throughput comes from the
+// device ledger so the recorded updates are the ones the kernel actually
+// performed.
+func benchBackprojection(sc *Scenario, streaming bool, opts KernelBenchOptions) (*BackprojBench, error) {
+	sys := sc.Sys
+	mats := core.KernelMatrices(sys, 0, sys.NP)
+	name := "batch"
+	if streaming {
+		name = "streaming"
+	}
+	var best time.Duration
+	var bestLedger device.Ledger
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for rep := 0; rep < opts.Reps; rep++ {
+		dev := device.New("kernelbench", 0, opts.Workers)
+		before := dev.Snapshot()
+		var elapsed time.Duration
+		if streaming {
+			plan, err := core.NewPlan(sys, 1, 1, core.DefaultBatchCount)
+			if err != nil {
+				return nil, err
+			}
+			ring, err := device.NewProjRing(dev, sys.NU, sys.NP, sys.NV)
+			if err != nil {
+				return nil, err
+			}
+			if err := ring.LoadRows(sc.Stack, sc.Stack.Rows()); err != nil {
+				ring.Close()
+				return nil, err
+			}
+			start := time.Now()
+			for c := 0; c < plan.BatchCount; c++ {
+				z0, nz := plan.SlabZ(0, c)
+				if nz == 0 {
+					continue
+				}
+				slab, err := volume.NewSlab(sys.NX, sys.NY, nz, z0)
+				if err != nil {
+					ring.Close()
+					return nil, err
+				}
+				if err := backproject.Streaming(dev, ring, mats, slab, plan.SlabRows(0, c)); err != nil {
+					ring.Close()
+					return nil, err
+				}
+			}
+			elapsed = time.Since(start)
+			ring.Close()
+		} else {
+			vol, err := volume.New(sys.NX, sys.NY, sys.NZ)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if err := backproject.Batch(dev, sc.Stack, mats, vol); err != nil {
+				return nil, err
+			}
+			elapsed = time.Since(start)
+		}
+		ledger := dev.Snapshot().Sub(before)
+		if best == 0 || elapsed < best {
+			best, bestLedger = elapsed, ledger
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	reps := uint64(opts.Reps)
+	return &BackprojBench{
+		Kernel:          name,
+		OutN:            sys.NZ,
+		NP:              sys.NP,
+		Updates:         bestLedger.VoxelUpdates,
+		Seconds:         best.Seconds(),
+		GUPS:            bestLedger.GUPS(best),
+		NsPerUpdate:     bestLedger.NsPerUpdate(best),
+		AllocBytesRep:   (m1.TotalAlloc - m0.TotalAlloc) / reps,
+		AllocObjectsRep: (m1.Mallocs - m0.Mallocs) / reps,
+	}, nil
+}
+
+// benchFiltering times the FDK row-filter hot loop on a detector-scale row
+// length (2048 samples, the root harness's BenchmarkFilterRow2048 shape),
+// single-threaded so the number is a per-core rate.
+func benchFiltering(reps int) (*FilterBench, error) {
+	const (
+		nu   = 2048
+		nv   = 64
+		rows = 256
+	)
+	f, err := filter.NewFDK(filter.Config{
+		NU: nu, NV: nv, DU: 0.2, DV: 0.2, DSD: 672.5,
+		Window: filter.RamLak, Scale: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pristine := make([]float32, rows*nu)
+	for i := range pristine {
+		pristine[i] = float32(i%13) - 6
+	}
+	buf := make([]float32, len(pristine))
+	vOf := func(i int) int { return i % nv }
+
+	var best time.Duration
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for rep := 0; rep < reps; rep++ {
+		copy(buf, pristine)
+		start := time.Now()
+		if err := f.FilterRows(buf, rows, vOf, 1); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	return &FilterBench{
+		NU:              nu,
+		NV:              nv,
+		Rows:            rows,
+		FFTSize:         f.FFTSize(),
+		Seconds:         best.Seconds(),
+		RowsPerSec:      float64(rows) / best.Seconds(),
+		NsPerRow:        best.Seconds() * 1e9 / float64(rows),
+		AllocBytesRep:   (m1.TotalAlloc - m0.TotalAlloc) / uint64(reps),
+		AllocObjectsRep: (m1.Mallocs - m0.Mallocs) / uint64(reps),
+	}, nil
+}
+
+// AppendKernelBenchJSON appends entry to the BENCH_kernel.json at path,
+// creating the file when absent. The file keeps every recorded run so
+// regressions are visible as a trajectory, not a single number.
+func AppendKernelBenchJSON(path string, entry *KernelBenchEntry) error {
+	var file KernelBenchFile
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &file); err != nil {
+			return fmt.Errorf("kernelbench: existing %s is not a bench file: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	file.Entries = append(file.Entries, entry)
+	out, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// Summary renders the entry as one human line per measurement.
+func (e *KernelBenchEntry) Summary() string {
+	s := fmt.Sprintf("%s (%s, workers=%d)\n", e.Label, e.GitCommit, e.Workers)
+	for _, bp := range e.Backprojection {
+		s += fmt.Sprintf("  backproject/%-9s %6.4f GUPS  %8.2f ns/update  %.3fs\n",
+			bp.Kernel, bp.GUPS, bp.NsPerUpdate, bp.Seconds)
+	}
+	for _, fb := range e.Filtering {
+		s += fmt.Sprintf("  filter rows (NU=%d) %9.0f rows/s  %8.0f ns/row  fft=%d\n",
+			fb.NU, fb.RowsPerSec, fb.NsPerRow, fb.FFTSize)
+	}
+	return s
+}

@@ -120,9 +120,11 @@ func (p *Plan) transform(re, im []float64, inverse bool) error {
 // signalLen with a fixed real kernel, via frequency-domain multiplication.
 // It is the workhorse of detector-row ramp filtering: one Convolver is built
 // per (row length, filter) pair and reused across all rows and projections.
+// Both the signal and the kernel are real, so the transforms run through a
+// RealPlan: half the butterfly work of the complex path per row.
 type Convolver struct {
-	plan      *Plan
-	kre, kim  []float64
+	plan      *RealPlan
+	kre, kim  []float64 // kernel half-spectrum, bins 0..n/2
 	signalLen int
 }
 
@@ -137,15 +139,19 @@ func NewConvolver(signalLen int, kernel []float64) (*Convolver, error) {
 		return nil, fmt.Errorf("fft: empty kernel")
 	}
 	n := NextPow2(signalLen + len(kernel) - 1)
-	plan, err := NewPlan(n)
+	if n < 2 {
+		n = 2 // RealPlan needs an even length; padding stays linear
+	}
+	plan, err := NewRealPlan(n)
 	if err != nil {
 		return nil, err
 	}
 	c := &Convolver{plan: plan, signalLen: signalLen}
-	c.kre = make([]float64, n)
-	c.kim = make([]float64, n)
-	copy(c.kre, kernel)
-	if err := plan.Forward(c.kre, c.kim); err != nil {
+	x := make([]float64, n)
+	copy(x, kernel)
+	c.kre = make([]float64, plan.SpectrumLen())
+	c.kim = make([]float64, plan.SpectrumLen())
+	if err := plan.Forward(x, c.kre, c.kim); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -157,12 +163,18 @@ func (c *Convolver) FFTSize() int { return c.plan.n }
 // Scratch holds per-goroutine workspace for Convolve so concurrent row
 // filtering does not allocate per call.
 type Scratch struct {
-	re, im []float64
+	x      []float64 // real samples, length n
+	re, im []float64 // half-spectrum, length n/2+1
 }
 
 // NewScratch allocates workspace matching the convolver's FFT size.
 func (c *Convolver) NewScratch() *Scratch {
-	return &Scratch{re: make([]float64, c.plan.n), im: make([]float64, c.plan.n)}
+	m := c.plan.SpectrumLen()
+	return &Scratch{
+		x:  make([]float64, c.plan.n),
+		re: make([]float64, m),
+		im: make([]float64, m),
+	}
 }
 
 // Convolve computes the linear convolution of signal with the kernel and
@@ -174,29 +186,27 @@ func (c *Convolver) Convolve(dst, signal []float32, center int, s *Scratch) erro
 	if len(signal) != c.signalLen || len(dst) != c.signalLen {
 		return fmt.Errorf("fft: signal/dst length %d/%d, want %d", len(signal), len(dst), c.signalLen)
 	}
-	n := c.plan.n
 	for i := 0; i < c.signalLen; i++ {
-		s.re[i] = float64(signal[i])
+		s.x[i] = float64(signal[i])
 	}
-	for i := c.signalLen; i < n; i++ {
-		s.re[i] = 0
+	for i := c.signalLen; i < c.plan.n; i++ {
+		s.x[i] = 0
 	}
-	for i := range s.im {
-		s.im[i] = 0
-	}
-	if err := c.plan.Forward(s.re, s.im); err != nil {
+	if err := c.plan.Forward(s.x, s.re, s.im); err != nil {
 		return err
 	}
-	for i := 0; i < n; i++ {
-		r := s.re[i]*c.kre[i] - s.im[i]*c.kim[i]
-		m := s.re[i]*c.kim[i] + s.im[i]*c.kre[i]
-		s.re[i], s.im[i] = r, m
+	// Bins 0 and n/2 have exactly zero imaginary parts on both sides, so
+	// the product spectrum keeps the Hermitian form Inverse expects.
+	for k := range s.re {
+		r := s.re[k]*c.kre[k] - s.im[k]*c.kim[k]
+		m := s.re[k]*c.kim[k] + s.im[k]*c.kre[k]
+		s.re[k], s.im[k] = r, m
 	}
-	if err := c.plan.Inverse(s.re, s.im); err != nil {
+	if err := c.plan.Inverse(s.re, s.im, s.x); err != nil {
 		return err
 	}
 	for i := 0; i < c.signalLen; i++ {
-		dst[i] = float32(s.re[i+center])
+		dst[i] = float32(s.x[i+center])
 	}
 	return nil
 }

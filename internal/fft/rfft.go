@@ -1,0 +1,135 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+)
+
+// RealPlan computes forward and inverse DFTs of real sequences of even
+// power-of-two length n by packing the even/odd samples into one complex
+// transform of size n/2 and untangling — the classic trick that halves the
+// butterfly work of row filtering, standing in for the paper's IPP
+// real-to-complex transforms. A RealPlan is safe for concurrent use once
+// built; callers supply their own buffers.
+type RealPlan struct {
+	n    int
+	half *Plan
+	// Untangle twiddles exp(−2πik/n) for k = 0..n/4.
+	cos, sin []float64
+}
+
+// NewRealPlan builds a real-input plan of size n, which must be a power of
+// two and at least 2.
+func NewRealPlan(n int) (*RealPlan, error) {
+	if !IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("fft: real plan size %d is not an even power of two", n)
+	}
+	half, err := NewPlan(n / 2)
+	if err != nil {
+		return nil, err
+	}
+	p := &RealPlan{n: n, half: half}
+	q := n/4 + 1
+	p.cos = make([]float64, q)
+	p.sin = make([]float64, q)
+	for k := 0; k < q; k++ {
+		a := -2 * math.Pi * float64(k) / float64(n)
+		p.cos[k] = math.Cos(a)
+		p.sin[k] = math.Sin(a)
+	}
+	return p, nil
+}
+
+// Size returns the real transform length n.
+func (p *RealPlan) Size() int { return p.n }
+
+// SpectrumLen returns the number of independent frequency bins, n/2 + 1.
+// Bins k > n/2 of the full DFT are the conjugates of bins n−k and are never
+// materialised.
+func (p *RealPlan) SpectrumLen() int { return p.n/2 + 1 }
+
+// Forward computes the half-spectrum DFT of the real sequence x (length n),
+// writing bins 0..n/2 into re/im (each of length SpectrumLen). im[0] and
+// im[n/2] are always zero for real input. x is not modified.
+func (p *RealPlan) Forward(x []float64, re, im []float64) error {
+	m := p.n / 2
+	if len(x) != p.n {
+		return fmt.Errorf("fft: real input length %d, plan size %d", len(x), p.n)
+	}
+	if len(re) < m+1 || len(im) < m+1 {
+		return fmt.Errorf("fft: spectrum buffers %d/%d, want %d", len(re), len(im), m+1)
+	}
+	// Pack z[j] = x[2j] + i·x[2j+1] and run the half-size transform in the
+	// output buffers.
+	zr, zi := re[:m], im[:m]
+	for j := 0; j < m; j++ {
+		zr[j] = x[2*j]
+		zi[j] = x[2*j+1]
+	}
+	if err := p.half.Forward(zr, zi); err != nil {
+		return err
+	}
+	// Untangle: with Fe/Fo the spectra of the even/odd samples,
+	//   X[k]   = Fe[k] + W^k·Fo[k],  W = exp(−2πi/n)
+	//   X[m−k] = conj(Fe[k] − W^k·Fo[k])
+	// processed pairwise in place; k = 0 unzips to the two purely real
+	// bins X[0] and X[m].
+	r0, i0 := zr[0], zi[0]
+	re[0], im[0] = r0+i0, 0
+	re[m], im[m] = r0-i0, 0
+	for k := 1; k <= m/2; k++ {
+		kr, ki := zr[k], zi[k]
+		jr, ji := zr[m-k], zi[m-k]
+		fer, fei := (kr+jr)/2, (ki-ji)/2
+		for_, foi := (ki+ji)/2, (jr-kr)/2
+		wr, wi := p.cos[k], p.sin[k]
+		tr := wr*for_ - wi*foi
+		ti := wr*foi + wi*for_
+		re[k], im[k] = fer+tr, fei+ti
+		re[m-k], im[m-k] = fer-tr, ti-fei
+	}
+	return nil
+}
+
+// Inverse reconstructs the real sequence from the half-spectrum produced by
+// Forward (or filtered versions of it), writing n samples into x and
+// including the 1/n scaling. im[0] and im[n/2] are assumed zero — the
+// Hermitian symmetry of a real signal's spectrum. The spectrum is consumed:
+// re/im double as the transform workspace and hold garbage afterwards. x
+// must not alias them.
+func (p *RealPlan) Inverse(re, im []float64, x []float64) error {
+	m := p.n / 2
+	if len(x) != p.n {
+		return fmt.Errorf("fft: real output length %d, plan size %d", len(x), p.n)
+	}
+	if len(re) < m+1 || len(im) < m+1 {
+		return fmt.Errorf("fft: spectrum buffers %d/%d, want %d", len(re), len(im), m+1)
+	}
+	// Retangle into the packed half-size spectrum Z[k] = Fe[k] + i·Fo[k],
+	// pairwise in place over the spectrum buffers.
+	zr, zi := re[:m], im[:m]
+	r0, rm := re[0], re[m]
+	zr[0] = (r0 + rm) / 2
+	zi[0] = (r0 - rm) / 2
+	for k := 1; k <= m/2; k++ {
+		kr, ki := re[k], im[k]
+		jr, ji := re[m-k], im[m-k]
+		fer, fei := (kr+jr)/2, (ki-ji)/2
+		dr, di := (kr-jr)/2, (ki+ji)/2
+		// Fo[k] = W^{−k}·D, W^{−k} = conj(W^k).
+		wr, wi := p.cos[k], p.sin[k]
+		for_ := wr*dr + wi*di
+		foi := wr*di - wi*dr
+		zr[k], zi[k] = fer-foi, fei+for_
+		zr[m-k], zi[m-k] = fer+foi, for_-fei
+	}
+	if err := p.half.Inverse(zr, zi); err != nil {
+		return err
+	}
+	// Unpack z[j] = x[2j] + i·x[2j+1].
+	for j := 0; j < m; j++ {
+		x[2*j] = zr[j]
+		x[2*j+1] = zi[j]
+	}
+	return nil
+}

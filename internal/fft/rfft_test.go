@@ -1,0 +1,162 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The real-input forward transform must match the full complex DFT of the
+// same sequence on every independent bin, across sizes from the n=2 edge up.
+func TestRealForwardMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 4, 8, 16, 64, 256, 1024} {
+		p, err := NewRealPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Size() != n || p.SpectrumLen() != n/2+1 {
+			t.Fatalf("n=%d: Size=%d SpectrumLen=%d", n, p.Size(), p.SpectrumLen())
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		orig := append([]float64(nil), x...)
+		re := make([]float64, n/2+1)
+		im := make([]float64, n/2+1)
+		if err := p.Forward(x, re, im); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if x[i] != orig[i] {
+				t.Fatalf("n=%d: Forward modified its input at %d", n, i)
+			}
+		}
+		wr, wi := naiveDFT(x, make([]float64, n))
+		for k := 0; k <= n/2; k++ {
+			if math.Abs(re[k]-wr[k]) > 1e-9 || math.Abs(im[k]-wi[k]) > 1e-9 {
+				t.Fatalf("n=%d bin %d: got (%g,%g), want (%g,%g)", n, k, re[k], im[k], wr[k], wi[k])
+			}
+		}
+		if im[0] != 0 || im[n/2] != 0 {
+			t.Fatalf("n=%d: purely real bins carry imaginary parts %g/%g", n, im[0], im[n/2])
+		}
+	}
+}
+
+// Inverse∘Forward must reproduce the input (up to rounding), including after
+// a symmetric real scaling of the half-spectrum — the ramp-filter use case.
+func TestRealRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{2, 4, 32, 512} {
+		p, err := NewRealPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		orig := append([]float64(nil), x...)
+		re := make([]float64, n/2+1)
+		im := make([]float64, n/2+1)
+		if err := p.Forward(x, re, im); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Inverse(re, im, x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d sample %d: round trip %g, want %g", n, i, x[i], orig[i])
+			}
+		}
+
+		// Filtered round trip: scale the half-spectrum by a real response
+		// and compare against the full complex transform doing the same.
+		if err := p.Forward(orig, re, im); err != nil {
+			t.Fatal(err)
+		}
+		for k := range re {
+			g := 1 / (1 + float64(k))
+			re[k] *= g
+			im[k] *= g
+		}
+		cp, err := NewPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr := append([]float64(nil), orig...)
+		ci := make([]float64, n)
+		if err := cp.Forward(cr, ci); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < n; k++ {
+			f := k
+			if f > n/2 {
+				f = n - f
+			}
+			g := 1 / (1 + float64(f))
+			cr[k] *= g
+			ci[k] *= g
+		}
+		if err := cp.Inverse(cr, ci); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Inverse(re, im, x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-cr[i]) > 1e-9 {
+				t.Fatalf("n=%d sample %d: filtered real path %g, complex path %g", n, i, x[i], cr[i])
+			}
+		}
+	}
+}
+
+func TestRealPlanErrors(t *testing.T) {
+	for _, n := range []int{0, -4, 1, 3, 6, 12} {
+		if _, err := NewRealPlan(n); err == nil {
+			t.Errorf("NewRealPlan(%d) accepted a bad size", n)
+		}
+	}
+	p, err := NewRealPlan(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := make([]float64, 8)
+	spec := make([]float64, 5)
+	if err := p.Forward(make([]float64, 7), spec, spec); err == nil {
+		t.Error("Forward accepted a short input")
+	}
+	if err := p.Forward(good, make([]float64, 4), spec); err == nil {
+		t.Error("Forward accepted a short spectrum buffer")
+	}
+	if err := p.Inverse(spec, spec, make([]float64, 9)); err == nil {
+		t.Error("Inverse accepted a long output")
+	}
+	if err := p.Inverse(make([]float64, 3), spec, good); err == nil {
+		t.Error("Inverse accepted a short spectrum buffer")
+	}
+}
+
+func BenchmarkRealForward2048(b *testing.B) {
+	p, err := NewRealPlan(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = float64(i%17) - 8
+	}
+	re := make([]float64, p.SpectrumLen())
+	im := make([]float64, p.SpectrumLen())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Forward(x, re, im); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -16,7 +16,7 @@ import (
 // concurrent use by many goroutines (each supplies its own Scratch).
 type FDK struct {
 	nu, nv  int
-	plan    *fft.Plan
+	plan    *fft.RealPlan
 	resp    []float64 // real frequency response of the windowed ramp
 	weights []float32 // nv×nu cosine weights, row-major
 	window  Window
@@ -68,11 +68,14 @@ func NewFDK(cfg Config) (*FDK, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := fft.NewPlan(n)
+	plan, err := fft.NewRealPlan(n)
 	if err != nil {
 		return nil, err
 	}
-	f := &FDK{nu: cfg.NU, nv: cfg.NV, plan: plan, resp: resp, window: cfg.Window}
+	// The detector rows are real, so filtering runs through the real-input
+	// transform: the response is symmetric (resp[k] == resp[n−k]), and only
+	// the independent half-spectrum bins 0..n/2 are ever touched.
+	f := &FDK{nu: cfg.NU, nv: cfg.NV, plan: plan, resp: resp[:plan.SpectrumLen()], window: cfg.Window}
 	f.weights = make([]float32, cfg.NV*cfg.NU)
 	cu := (float64(cfg.NU)-1)/2 + cfg.SigmaU
 	cv := (float64(cfg.NV)-1)/2 + cfg.SigmaV
@@ -96,14 +99,23 @@ func (f *FDK) NV() int { return f.nv }
 // Window returns the apodisation window in use.
 func (f *FDK) Window() Window { return f.window }
 
+// FFTSize returns the transform length used for row filtering.
+func (f *FDK) FFTSize() int { return f.plan.Size() }
+
 // Scratch is the per-goroutine workspace for row filtering.
 type Scratch struct {
-	re, im []float64
+	x      []float64 // real samples, FFT-size long
+	re, im []float64 // half-spectrum bins 0..n/2
 }
 
 // NewScratch allocates a workspace sized for this filter.
 func (f *FDK) NewScratch() *Scratch {
-	return &Scratch{re: make([]float64, f.plan.Size()), im: make([]float64, f.plan.Size())}
+	m := f.plan.SpectrumLen()
+	return &Scratch{
+		x:  make([]float64, f.plan.Size()),
+		re: make([]float64, m),
+		im: make([]float64, m),
+	}
 }
 
 // FilterRow filters one detector row in place. v is the physical detector
@@ -119,26 +131,25 @@ func (f *FDK) FilterRow(row []float32, v int, s *Scratch) error {
 	w := f.weights[v*f.nu : (v+1)*f.nu]
 	n := f.plan.Size()
 	for u := 0; u < f.nu; u++ {
-		s.re[u] = float64(row[u] * w[u])
+		s.x[u] = float64(row[u] * w[u])
 	}
 	for u := f.nu; u < n; u++ {
-		s.re[u] = 0
+		s.x[u] = 0
 	}
-	for i := range s.im {
-		s.im[i] = 0
-	}
-	if err := f.plan.Forward(s.re, s.im); err != nil {
+	if err := f.plan.Forward(s.x, s.re, s.im); err != nil {
 		return err
 	}
-	for k := 0; k < n; k++ {
+	// Real symmetric response: scaling the half-spectrum is equivalent to
+	// scaling every bin of the full transform.
+	for k := range s.re {
 		s.re[k] *= f.resp[k]
 		s.im[k] *= f.resp[k]
 	}
-	if err := f.plan.Inverse(s.re, s.im); err != nil {
+	if err := f.plan.Inverse(s.re, s.im, s.x); err != nil {
 		return err
 	}
 	for u := 0; u < f.nu; u++ {
-		row[u] = float32(s.re[u])
+		row[u] = float32(s.x[u])
 	}
 	return nil
 }

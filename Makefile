@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check bench bench-json experiments examples clean
+.PHONY: all build test race check bench bench-json bench-exec experiments examples clean
 
 all: build test
 
@@ -31,6 +31,12 @@ bench:
 # filter rows/s, alloc stats, git commit) to BENCH_kernel.json.
 bench-json:
 	$(GO) run ./cmd/fdkbench -kernel-json BENCH_kernel.json -label "$(BENCH_LABEL)"
+
+# Append a scale-out executor record (pipeline batches/s vs bp-worker
+# count, reduction GB/s and allocs/op pooled vs unpooled) to
+# BENCH_exec.json.
+bench-exec:
+	$(GO) run ./cmd/fdkbench -exec-json BENCH_exec.json -label "$(BENCH_LABEL)"
 
 # Regenerate every table/figure of the paper's evaluation into artifacts/.
 experiments:

@@ -27,8 +27,9 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "CPU parallelism")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	kernelJSON := flag.String("kernel-json", "", "run the hot-loop kernel benchmark and append the entry to this JSON file (skips -exp)")
-	label := flag.String("label", "", "label stamped into the -kernel-json entry")
-	reps := flag.Int("reps", 3, "repetitions per -kernel-json measurement (best-of)")
+	execJSON := flag.String("exec-json", "", "run the scale-out executor benchmark and append the entry to this JSON file (skips -exp)")
+	label := flag.String("label", "", "label stamped into the -kernel-json / -exec-json entry")
+	reps := flag.Int("reps", 3, "repetitions per -kernel-json / -exec-json measurement (best-of)")
 	flag.Parse()
 
 	if *list {
@@ -46,6 +47,22 @@ func main() {
 		})
 		if err == nil {
 			err = experiments.AppendKernelBenchJSON(*kernelJSON, entry)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdkbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(entry.Summary())
+		return
+	}
+	if *execJSON != "" {
+		entry, err := experiments.RunExecBench(experiments.ExecBenchOptions{
+			Reps:      *reps,
+			Label:     *label,
+			GitCommit: gitCommit(),
+		})
+		if err == nil {
+			err = experiments.AppendExecBenchJSON(*execJSON, entry)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fdkbench:", err)

@@ -35,6 +35,13 @@ type ClusterOptions struct {
 	// with RanksPerNode ranks per node.
 	Hierarchical bool
 	RanksPerNode int
+	// ReduceChunk sets the segment size (in float32 elements) for the
+	// chunk-pipelined slab reduction: 0 picks one XY plane (NX·NY), which
+	// overlaps tree latency with accumulation plane by plane; a negative
+	// value disables chunking and uses the monolithic Reduce. Ignored when
+	// Hierarchical is set. Every setting produces bit-identical volumes —
+	// the per-element summation order is fixed across variants.
+	ReduceChunk int
 	// Output receives reduced slabs from group leaders (required).
 	Output SlabSink
 }
@@ -166,10 +173,18 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 			}
 			dev.RecordD2H(slab.Bytes())
 
-			// Segmented reduction: only within the group (Figure 3b).
-			if opts.Hierarchical {
+			// Segmented reduction: only within the group (Figure 3b),
+			// chunk-pipelined through the tree by default.
+			switch {
+			case opts.Hierarchical:
 				err = group.HierarchicalReduce(0, slab.Data, opts.RanksPerNode)
-			} else {
+			case opts.ReduceChunk >= 0:
+				chunk := opts.ReduceChunk
+				if chunk == 0 {
+					chunk = p.Sys.NX * p.Sys.NY
+				}
+				err = group.ReduceChunked(0, slab.Data, chunk)
+			default:
 				err = group.Reduce(0, slab.Data)
 			}
 			if err != nil {

@@ -91,10 +91,37 @@ type ReconOptions struct {
 	FilterWorkers int
 	// Sink receives finished slabs (required).
 	Sink SlabSink
+	// BPWorkers sets the worker count of the back-projection stage.
+	// Values > 1 make the stage elastic: batches back-project concurrently
+	// behind a reorder buffer, with ring uploads split into a dedicated
+	// sequential stage whose lagged row release keeps every in-flight
+	// batch's rows resident (the ring is sized deeper to match). The
+	// reconstruction is bit-identical to BPWorkers=1. Falls back to the
+	// sequential stage when the slab schedule needs a ring reset (disjoint
+	// row ranges) or the pipeline is disabled.
+	BPWorkers int
 	// Tracer, when set, records the Figure 10-style pipeline timeline.
 	Tracer *pipeline.Tracer
 	// DisablePipeline runs the stages serially (for ablation only).
 	DisablePipeline bool
+}
+
+// slabRowsMonotone reports whether consecutive non-empty batches of group g
+// always overlap or abut upward (no ring Reset ever needed) — the regime in
+// which elastic back-projection's lagged release is valid.
+func slabRowsMonotone(p *Plan, g int) bool {
+	prev := geometry.RowRange{}
+	for c := 0; c < p.BatchCount; c++ {
+		rows := p.SlabRows(g, c)
+		if rows.IsEmpty() {
+			continue
+		}
+		if !prev.IsEmpty() && (rows.Lo >= prev.Hi || rows.Lo < prev.Lo) {
+			return false
+		}
+		prev = rows
+	}
+	return true
 }
 
 // ReconReport summarises a reconstruction run.
@@ -134,7 +161,26 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 	}
 	mats := KernelMatrices(p.Sys, 0, p.Sys.NP)
 
-	ring, err := device.NewProjRing(opts.Device, p.Sys.NU, p.Sys.NP, p.RingDepth(0))
+	// Elastic back-projection needs a deeper ring (rows of every possibly
+	// in-flight batch stay resident) and a schedule that never resets the
+	// ring; otherwise fall back to the sequential stage.
+	bpWorkers := opts.BPWorkers
+	if bpWorkers < 1 {
+		bpWorkers = 1
+	}
+	elastic := bpWorkers > 1 && !opts.DisablePipeline && slabRowsMonotone(p, 0)
+	if !elastic {
+		bpWorkers = 1
+	}
+	// Batches that may still be reading the ring when the upload stage
+	// starts batch c: the inter-stage queue, the dispatcher hand-off, and
+	// the workers themselves, plus one batch of margin.
+	releaseLag := pipeline.DefaultQueueDepth + bpWorkers + 2
+	depth := p.RingDepth(0)
+	if elastic {
+		depth = p.RingDepthWindow(0, releaseLag+1)
+	}
+	ring, err := device.NewProjRing(opts.Device, p.Sys.NU, p.Sys.NP, depth)
 	if err != nil {
 		return nil, err
 	}
@@ -204,6 +250,44 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 		opts.Device.RecordD2H(slab.Bytes())
 		return slab, nil
 	}
+	// The elastic split of bpStage: a sequential upload stage owns all ring
+	// mutation, releasing rows only once every batch that could still read
+	// them has passed (the lagged watermark); the back-project stage then
+	// only reads the ring and can run its batches concurrently.
+	uploadStage := func(c int, in any) (any, error) {
+		rows := p.SlabRows(0, c)
+		if rows.IsEmpty() {
+			return nil, nil
+		}
+		if rc := c - releaseLag; rc >= 0 {
+			if wm := p.SlabRows(0, rc); !wm.IsEmpty() {
+				ring.Release(wm.Lo)
+			}
+		}
+		if st, _ := in.(*projection.Stack); st != nil {
+			if err := ring.LoadRows(st, st.Rows()); err != nil {
+				return nil, err
+			}
+		}
+		return rows, nil
+	}
+	bpCompute := func(c int, in any) (any, error) {
+		rows, ok := in.(geometry.RowRange)
+		if !ok {
+			return nil, nil
+		}
+		z0, nz := p.SlabZ(0, c)
+		slab, err := volume.NewSlab(p.Sys.NX, p.Sys.NY, nz, z0)
+		if err != nil {
+			return nil, err
+		}
+		if err := backproject.Streaming(opts.Device, ring, mats, slab, rows); err != nil {
+			return nil, err
+		}
+		opts.Device.RecordD2H(slab.Bytes())
+		return slab, nil
+	}
+
 	storeStage := func(c int, in any) (any, error) {
 		slab, _ := in.(*volume.Volume)
 		if slab == nil {
@@ -224,12 +308,20 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 			}
 		}
 	} else {
-		pl, err := pipeline.New(
-			pipeline.Stage{Name: "load", Fn: loadStage},
-			pipeline.Stage{Name: "filter", Fn: filterStage},
-			pipeline.Stage{Name: "backproject", Fn: bpStage},
-			pipeline.Stage{Name: "store", Fn: storeStage},
-		)
+		stages := []pipeline.Stage{
+			{Name: "load", Fn: loadStage},
+			{Name: "filter", Fn: filterStage},
+		}
+		if elastic {
+			stages = append(stages,
+				pipeline.Stage{Name: "upload", Fn: uploadStage},
+				pipeline.Stage{Name: "backproject", Workers: bpWorkers, Fn: bpCompute},
+			)
+		} else {
+			stages = append(stages, pipeline.Stage{Name: "backproject", Fn: bpStage})
+		}
+		stages = append(stages, pipeline.Stage{Name: "store", Fn: storeStage})
+		pl, err := pipeline.New(stages...)
 		if err != nil {
 			return nil, err
 		}

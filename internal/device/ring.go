@@ -2,6 +2,7 @@ package device
 
 import (
 	"fmt"
+	"sync"
 
 	"distfdk/internal/geometry"
 	"distfdk/internal/projection"
@@ -22,7 +23,13 @@ type ProjRing struct {
 	NU, NP int
 	H      int // ring depth in rows
 
-	data  []float32
+	data []float32
+
+	// mu guards valid so elastic back-projection workers can read the
+	// resident range while the (single) upload stage extends it. The row
+	// data itself is unguarded: the upload schedule guarantees writers
+	// touch only slots of released rows, which no reader holds.
+	mu    sync.RWMutex
 	valid geometry.RowRange // global rows currently resident
 }
 
@@ -51,17 +58,28 @@ func (r *ProjRing) Close() {
 func (r *ProjRing) Bytes() int64 { return int64(r.NU) * int64(r.NP) * int64(r.H) * 4 }
 
 // Valid returns the global row range currently resident.
-func (r *ProjRing) Valid() geometry.RowRange { return r.valid }
+func (r *ProjRing) Valid() geometry.RowRange {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.valid
+}
 
 // Reset discards all resident rows. The slab driver uses it when
 // consecutive slabs need disjoint row ranges (possible for very thin
 // detectors), where there is no overlap to preserve.
-func (r *ProjRing) Reset() { r.valid = geometry.RowRange{} }
+func (r *ProjRing) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.valid = geometry.RowRange{}
+}
 
 // Release drops resident rows below upTo, making their slots reusable. It
 // is called when advancing to the next slab, whose required range starts at
-// upTo (= a_{i+1}).
+// upTo (= a_{i+1}); the elastic driver instead passes a lagged watermark so
+// rows stay resident until every in-flight batch is past them.
 func (r *ProjRing) Release(upTo int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if upTo > r.valid.Lo {
 		r.valid.Lo = min(upTo, r.valid.Hi)
 	}
@@ -83,6 +101,8 @@ func (r *ProjRing) LoadRows(src *projection.Stack, rows geometry.RowRange) error
 	if rows.Lo < src.V0 || rows.Hi > src.V0+src.NV {
 		return fmt.Errorf("device: rows %v not present in host stack %v", rows, src.Rows())
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	newValid := r.valid.Union(rows)
 	if !r.valid.IsEmpty() && rows.Lo > r.valid.Hi {
 		return fmt.Errorf("device: load %v leaves a gap after resident %v", rows, r.valid)
@@ -127,8 +147,8 @@ func (r *ProjRing) checkInvariant() error {
 // if the row is not resident. The back-projection kernel uses RawData for
 // its inner loop; Row exists for verification and tests.
 func (r *ProjRing) Row(v, p int) ([]float32, error) {
-	if !r.valid.Contains(v) {
-		return nil, fmt.Errorf("device: row %d not resident (valid %v)", v, r.valid)
+	if valid := r.Valid(); !valid.Contains(v) {
+		return nil, fmt.Errorf("device: row %d not resident (valid %v)", v, valid)
 	}
 	if p < 0 || p >= r.NP {
 		return nil, fmt.Errorf("device: projection %d outside [0,%d)", p, r.NP)

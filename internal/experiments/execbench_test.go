@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Smoke-test the executor benchmark at toy scale and the append-only JSON
+// envelope it records into.
+func TestExecBenchRecordsEntries(t *testing.T) {
+	entry, err := RunExecBench(ExecBenchOptions{
+		Batches: 4, Ranks: 4, Elems: 1 << 10, Reps: 1, Label: "test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entry.Pipeline) != 3 {
+		t.Fatalf("pipeline rows %d, want 3 (workers 1/2/4)", len(entry.Pipeline))
+	}
+	if entry.Pipeline[0].Workers != 1 || entry.Pipeline[0].Speedup != 1 {
+		t.Fatalf("first pipeline row should be the workers=1 baseline: %+v", entry.Pipeline[0])
+	}
+	if len(entry.Collectives) != 6 {
+		t.Fatalf("collective rows %d, want 6 (3 variants × pooled/unpooled)", len(entry.Collectives))
+	}
+	for _, cb := range entry.Collectives {
+		if cb.Seconds <= 0 || cb.GBPerSec <= 0 {
+			t.Fatalf("degenerate measurement: %+v", cb)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_exec.json")
+	if err := AppendExecBenchJSON(path, entry); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendExecBenchJSON(path, entry); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(raw); !json2HasTwoEntries(got) {
+		t.Fatalf("expected two appended entries, got: %s", got)
+	}
+	if entry.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func json2HasTwoEntries(s string) bool {
+	n := 0
+	for i := 0; i+7 <= len(s); i++ {
+		if s[i:i+7] == `"label"` {
+			n++
+		}
+	}
+	return n == 2
+}

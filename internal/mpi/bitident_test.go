@@ -1,0 +1,213 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// rankData generates a deterministic, awkwardly-rounded float32 vector for
+// one rank — values chosen so float32 summation order matters (different
+// groupings genuinely produce different bits for these inputs).
+func rankData(rank, n int) []float32 {
+	rng := rand.New(rand.NewSource(int64(rank)*1_000_003 + 17))
+	buf := make([]float32, n)
+	for i := range buf {
+		buf[i] = (rng.Float32() - 0.5) * float32(int(1)<<(rank%7))
+	}
+	return buf
+}
+
+// runReduction executes one reduction variant over the given world size
+// and returns root's result.
+func runReduction(t *testing.T, n, root, elems int, reduce func(c *Comm, buf []float32) error) []float32 {
+	t.Helper()
+	out := make([]float32, elems)
+	err := Run(n, func(c *Comm) error {
+		buf := rankData(c.Rank(), elems)
+		if err := reduce(c, buf); err != nil {
+			return err
+		}
+		if c.Rank() == root {
+			copy(out, buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// The reconstruction must stay deterministic regardless of which reduction
+// path assembles the slabs: Reduce, every chunking of ReduceChunked, and
+// HierarchicalReduce (power-of-two ranksPerNode dividing the world size)
+// share one fixed per-element summation order and must agree bit for bit.
+func TestReductionPathsBitIdentical(t *testing.T) {
+	const elems = 257 // odd length: chunk boundaries land mid-buffer
+	for _, n := range []int{4, 8} {
+		for _, root := range []int{0, n / 2} {
+			want := runReduction(t, n, root, elems, func(c *Comm, buf []float32) error {
+				return c.Reduce(root, buf)
+			})
+			for _, chunk := range []int{1, 7, 64, elems, elems + 100} {
+				got := runReduction(t, n, root, elems, func(c *Comm, buf []float32) error {
+					return c.ReduceChunked(root, buf, chunk)
+				})
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d root=%d chunk=%d: elem %d: ReduceChunked %x != Reduce %x",
+							n, root, chunk, i, got[i], want[i])
+					}
+				}
+			}
+			for _, rpn := range []int{2, 4} {
+				if root%rpn != 0 {
+					continue
+				}
+				got := runReduction(t, n, root, elems, func(c *Comm, buf []float32) error {
+					return c.HierarchicalReduce(root, buf, rpn)
+				})
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d root=%d rpn=%d: elem %d: HierarchicalReduce %x != Reduce %x",
+							n, root, rpn, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Pooling must not change a single bit: the arena only changes where the
+// scratch memory comes from, never the arithmetic.
+func TestPooledReductionsMatchUnpooled(t *testing.T) {
+	const n, elems, root = 8, 193, 0
+	run := func(pooled bool, reduce func(c *Comm, buf []float32) error) []float32 {
+		prev := SetBufferPooling(pooled)
+		defer SetBufferPooling(prev)
+		return runReduction(t, n, root, elems, reduce)
+	}
+	variants := map[string]func(c *Comm, buf []float32) error{
+		"reduce":  func(c *Comm, buf []float32) error { return c.Reduce(root, buf) },
+		"chunked": func(c *Comm, buf []float32) error { return c.ReduceChunked(root, buf, 32) },
+		"hier":    func(c *Comm, buf []float32) error { return c.HierarchicalReduce(root, buf, 4) },
+		"bcast+reduce": func(c *Comm, buf []float32) error {
+			if err := c.Bcast(3, append([]float32(nil), buf...)); err != nil {
+				return err
+			}
+			return c.Reduce(root, buf)
+		},
+	}
+	for name, fn := range variants {
+		a, b := run(true, fn), run(false, fn)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: elem %d: pooled %x != unpooled %x", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// Non-root buffers must stay untouched by the chunked and hierarchical
+// variants, same as Reduce.
+func TestChunkedReduceLeavesNonRootBuffers(t *testing.T) {
+	const n, elems = 6, 41
+	err := Run(n, func(c *Comm) error {
+		buf := rankData(c.Rank(), elems)
+		orig := append([]float32(nil), buf...)
+		if err := c.ReduceChunked(2, buf, 8); err != nil {
+			return err
+		}
+		if c.Rank() != 2 {
+			for i := range buf {
+				if buf[i] != orig[i] {
+					return fmt.Errorf("rank %d buffer modified at %d", c.Rank(), i)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceChunkedValidation(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if err := c.ReduceChunked(5, make([]float32, 4), 2); err == nil {
+			return fmt.Errorf("expected root range error")
+		}
+		if err := c.ReduceChunked(0, make([]float32, 4), 0); err == nil {
+			return fmt.Errorf("expected chunk size error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Chunked traffic accounting: every non-root rank forwards each segment
+// exactly once, and the segment counter plus byte counters line up.
+func TestReduceChunkedStats(t *testing.T) {
+	const n, elems, chunk = 4, 100, 32 // 4 chunks: 32+32+32+4
+	err := Run(n, func(c *Comm) error {
+		buf := make([]float32, elems)
+		if err := c.ReduceChunked(0, buf, chunk); err != nil {
+			return err
+		}
+		st := c.Stats()
+		if c.Rank() == 0 {
+			if st.ReduceChunks != 0 {
+				return fmt.Errorf("root forwarded %d chunks, want 0", st.ReduceChunks)
+			}
+			return nil
+		}
+		if st.ReduceChunks != 4 {
+			return fmt.Errorf("rank %d forwarded %d chunks, want 4", c.Rank(), st.ReduceChunks)
+		}
+		if st.BytesSent != elems*4 {
+			return fmt.Errorf("rank %d sent %d bytes, want %d", c.Rank(), st.BytesSent, elems*4)
+		}
+		if st.MessagesSent != 4 {
+			return fmt.Errorf("rank %d sent %d messages, want 4 (one per chunk)", c.Rank(), st.MessagesSent)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The arena must actually be hit: after a warm-up reduction, further
+// reductions should be served overwhelmingly from the pool.
+func TestBufferArenaReuse(t *testing.T) {
+	prev := SetBufferPooling(true)
+	defer SetBufferPooling(prev)
+	const n, elems = 8, 4096
+	reduceOnce := func() {
+		err := Run(n, func(c *Comm) error {
+			return c.Reduce(0, rankData(c.Rank(), elems))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	reduceOnce() // warm the arena
+	before := BufferPoolStats()
+	for i := 0; i < 8; i++ {
+		reduceOnce()
+	}
+	after := BufferPoolStats()
+	gets := after.Gets - before.Gets
+	misses := after.Misses - before.Misses
+	if gets == 0 {
+		t.Fatal("pooled reduction performed no arena gets")
+	}
+	// sync.Pool may shed buffers under GC pressure, so allow some misses,
+	// but a working arena must serve most gets from returned buffers.
+	if misses*2 > gets {
+		t.Fatalf("arena miss rate too high: %d misses of %d gets", misses, gets)
+	}
+}

@@ -26,6 +26,15 @@ type Stats struct {
 	BytesRecv    int64
 	MessagesSent int64
 	MessagesRecv int64
+	// ReduceChunks counts the pipelined segments this rank forwarded to
+	// its tree parent during ReduceChunked calls, so chunked-reduction
+	// experiments can report per-chunk traffic.
+	ReduceChunks int64
+	// UnknownPayloads counts messages whose payload type payloadBytes
+	// could not size. A non-zero value means BytesSent/BytesRecv
+	// undercount real traffic; traffic experiments must treat it as an
+	// error instead of silently reporting too-small volumes.
+	UnknownPayloads int64
 }
 
 // Comm is a communicator endpoint bound to one rank, analogous to an
@@ -109,26 +118,34 @@ func (c *Comm) Size() int { return c.size }
 // communicator.
 func (c *Comm) Stats() Stats { return *c.stats }
 
-// payloadBytes estimates the wire size of a payload for the traffic
-// counters.
-func payloadBytes(data any) int64 {
+// payloadBytes reports the wire size of a payload for the traffic
+// counters. The second result is false when the payload type is unknown —
+// the caller must record the miss (Stats.UnknownPayloads) so experiments
+// cannot silently undercount traffic.
+func payloadBytes(data any) (int64, bool) {
 	switch v := data.(type) {
 	case nil:
-		return 0
+		return 0, true
 	case []float32:
-		return int64(len(v)) * 4
+		return int64(len(v)) * 4, true
+	case [][]float32:
+		var total int64
+		for _, row := range v {
+			total += int64(len(row)) * 4
+		}
+		return total, true
 	case []float64:
-		return int64(len(v)) * 8
+		return int64(len(v)) * 8, true
 	case []byte:
-		return int64(len(v))
+		return int64(len(v)), true
 	case []int:
-		return int64(len(v)) * 8
+		return int64(len(v)) * 8, true
 	case int, int32, int64, float32, float64, bool:
-		return 8
+		return 8, true
 	case string:
-		return int64(len(v))
+		return int64(len(v)), true
 	default:
-		return 0
+		return 0, false
 	}
 }
 
@@ -143,7 +160,11 @@ func (c *Comm) Send(dst, tag int, data any) error {
 		return fmt.Errorf("mpi: rank %d sending to itself", c.rank)
 	}
 	c.group.chans[dst][c.rank] <- message{tag: tag, data: data}
-	c.stats.BytesSent += payloadBytes(data)
+	nb, known := payloadBytes(data)
+	c.stats.BytesSent += nb
+	if !known {
+		c.stats.UnknownPayloads++
+	}
 	c.stats.MessagesSent++
 	return nil
 }
@@ -161,7 +182,11 @@ func (c *Comm) Recv(src, tag int) (any, error) {
 	if m.tag != tag {
 		return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag)
 	}
-	c.stats.BytesRecv += payloadBytes(m.data)
+	nb, known := payloadBytes(m.data)
+	c.stats.BytesRecv += nb
+	if !known {
+		c.stats.UnknownPayloads++
+	}
 	c.stats.MessagesRecv++
 	return m.data, nil
 }
@@ -210,7 +235,9 @@ func (c *Comm) Bcast(root int, buf []float32) error {
 		return fmt.Errorf("mpi: bcast root %d outside world of %d", root, c.size)
 	}
 	rel := (c.rank - root + c.size) % c.size
-	// Receive phase: find the step at which this rank gets the data.
+	// Receive phase: find the step at which this rank gets the data. The
+	// incoming buffer is the sender's arena scratch; copy it out and
+	// return it.
 	mask := 1
 	for ; mask < c.size; mask <<= 1 {
 		if rel&mask != 0 {
@@ -223,14 +250,17 @@ func (c *Comm) Bcast(root int, buf []float32) error {
 				return fmt.Errorf("mpi: bcast buffer length %d, expected %d", len(data), len(buf))
 			}
 			copy(buf, data)
+			putScratch(data)
 			break
 		}
 	}
-	// Forward phase: relay to the sub-tree below this rank.
+	// Forward phase: relay to the sub-tree below this rank. Each relay
+	// borrows a scratch buffer whose ownership transfers to the child.
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		if rel+mask < c.size {
 			dst := (c.rank + mask) % c.size
-			out := append([]float32(nil), buf...)
+			out := getScratch(len(buf))
+			copy(out, buf)
 			if err := c.Send(dst, tagBcast, out); err != nil {
 				return err
 			}
@@ -239,20 +269,16 @@ func (c *Comm) Bcast(root int, buf []float32) error {
 	return nil
 }
 
-// Reduce sums every rank's buf element-wise into root's buf over a binomial
-// tree (O(log N) rounds — the communication bound of Table 2's last row).
-// Non-root buffers are left unmodified. This is the segmented MPI_Reduce of
-// the paper when called on a group communicator created by Split.
-func (c *Comm) Reduce(root int, buf []float32) error {
-	if root < 0 || root >= c.size {
-		return fmt.Errorf("mpi: reduce root %d outside world of %d", root, c.size)
-	}
-	rel := (c.rank - root + c.size) % c.size
-	// Accumulate into a private buffer so non-root callers keep theirs.
-	acc := buf
-	if rel != 0 {
-		acc = append([]float32(nil), buf...)
-	}
+// reduceSegment runs one binomial-tree reduction over acc: rel is this
+// rank's position relative to the root. This is the fused
+// receive+accumulate path every reduction variant shares — one scratch
+// slice (acc) lives across all rounds; each received buffer is a tree
+// partner's scratch, accumulated in place and returned to the arena. For
+// rel != 0, acc must be arena scratch whose ownership transfers to the
+// tree parent on send; for rel == 0 it is the caller's output buffer.
+// Because all variants funnel through this one routine, their per-element
+// summation order is fixed and their results bit-identical.
+func (c *Comm) reduceSegment(rel int, acc []float32) error {
 	for step := 1; step < c.size; step <<= 1 {
 		if rel&step != 0 {
 			dst := (c.rank - step + c.size) % c.size
@@ -270,6 +296,65 @@ func (c *Comm) Reduce(root int, buf []float32) error {
 			for i, x := range data {
 				acc[i] += x
 			}
+			putScratch(data)
+		}
+	}
+	return nil
+}
+
+// Reduce sums every rank's buf element-wise into root's buf over a binomial
+// tree (O(log N) rounds — the communication bound of Table 2's last row).
+// Non-root buffers are left unmodified. This is the segmented MPI_Reduce of
+// the paper when called on a group communicator created by Split.
+func (c *Comm) Reduce(root int, buf []float32) error {
+	if root < 0 || root >= c.size {
+		return fmt.Errorf("mpi: reduce root %d outside world of %d", root, c.size)
+	}
+	rel := (c.rank - root + c.size) % c.size
+	// Accumulate into a private arena buffer so non-root callers keep
+	// theirs.
+	acc := buf
+	if rel != 0 {
+		acc = getScratch(len(buf))
+		copy(acc, buf)
+	}
+	return c.reduceSegment(rel, acc)
+}
+
+// ReduceChunked is Reduce with the buffer split into ⌈len/chunk⌉ segments
+// that are pipelined through the binomial tree: because sends are
+// buffered, a leaf posts segment c and immediately starts segment c+1
+// while its parent is still accumulating segment c — round k of segment c
+// overlaps round k−1 of segment c+1, hiding tree latency behind
+// accumulation exactly like the paper's segmented reduction hides
+// communication behind compute. Per-element summation order is identical
+// to Reduce, so the result is bit-identical; segment traffic is counted
+// per chunk in Stats (BytesSent/MessagesSent per segment message,
+// ReduceChunks for forwarded segments).
+func (c *Comm) ReduceChunked(root int, buf []float32, chunk int) error {
+	if root < 0 || root >= c.size {
+		return fmt.Errorf("mpi: reduce root %d outside world of %d", root, c.size)
+	}
+	if chunk <= 0 {
+		return fmt.Errorf("mpi: chunk size %d must be positive", chunk)
+	}
+	rel := (c.rank - root + c.size) % c.size
+	nChunks := 1
+	if len(buf) > 0 {
+		nChunks = (len(buf) + chunk - 1) / chunk
+	}
+	for ci := 0; ci < nChunks; ci++ {
+		lo := ci * chunk
+		hi := min(lo+chunk, len(buf))
+		seg := buf[lo:hi]
+		acc := seg
+		if rel != 0 {
+			acc = getScratch(len(seg))
+			copy(acc, seg)
+			c.stats.ReduceChunks++
+		}
+		if err := c.reduceSegment(rel, acc); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -309,9 +394,19 @@ func (c *Comm) Gather(root int, buf []float32) ([][]float32, error) {
 
 // HierarchicalReduce performs the paper's two-level reduction
 // (Section 4.4.2): ranks on the same "node" (consecutive groups of
-// ranksPerNode) first reduce to their node leader, then the leaders reduce
-// to root over a binomial tree. root must be a node leader. The result
-// lands in root's buf; other buffers are unmodified.
+// ranksPerNode) first reduce to their node leader over an intra-node
+// binomial tree, then the leaders reduce to root over a binomial tree on
+// leader indices. root must be a node leader. The result lands in root's
+// buf; other buffers are unmodified. Scratch buffers come from the arena
+// and received partials are accumulated and recycled in place, exactly
+// like Reduce.
+//
+// Both levels being binomial makes the combine grouping identical to the
+// flat Reduce tree whenever ranksPerNode is a power of two that divides
+// the communicator size (the deployment shape of Section 4.4.2), so in
+// that regime the float32 result is bit-identical to Reduce, not merely
+// close. For other shapes the sum is still exact for exactly-representable
+// inputs but may round differently.
 func (c *Comm) HierarchicalReduce(root int, buf []float32, ranksPerNode int) error {
 	if ranksPerNode <= 0 {
 		return fmt.Errorf("mpi: ranksPerNode %d must be positive", ranksPerNode)
@@ -320,28 +415,37 @@ func (c *Comm) HierarchicalReduce(root int, buf []float32, ranksPerNode int) err
 		return fmt.Errorf("mpi: hierarchical root %d is not a node leader (rpn=%d)", root, ranksPerNode)
 	}
 	leader := c.rank / ranksPerNode * ranksPerNode
-	if c.rank != leader {
-		return c.Send(leader, tagReduce, append([]float32(nil), buf...))
-	}
-	// Leader: absorb node members.
+	nodeEnd := min(leader+ranksPerNode, c.size)
+	m := nodeEnd - leader // this node's member count
+	q := c.rank - leader  // offset within the node
+
 	acc := buf
 	if c.rank != root {
-		acc = append([]float32(nil), buf...)
+		acc = getScratch(len(buf))
+		copy(acc, buf)
 	}
-	nodeEnd := min(leader+ranksPerNode, c.size)
-	for src := leader + 1; src < nodeEnd; src++ {
-		data, err := c.RecvFloat32(src, tagReduce)
-		if err != nil {
-			return err
+	// Intra-node binomial tree rooted at the leader: only ranks of the
+	// same node exchange messages, preserving the two-level communication
+	// pattern (these are the "cheap" intra-node links).
+	for step := 1; step < m; step <<= 1 {
+		if q&step != 0 {
+			return c.Send(c.rank-step, tagReduce, acc)
 		}
-		if len(data) != len(acc) {
-			return fmt.Errorf("mpi: hierarchical buffer length %d, expected %d", len(data), len(acc))
-		}
-		for i, x := range data {
-			acc[i] += x
+		if q+step < m {
+			data, err := c.RecvFloat32(c.rank+step, tagReduce)
+			if err != nil {
+				return err
+			}
+			if len(data) != len(acc) {
+				return fmt.Errorf("mpi: hierarchical buffer length %d, expected %d", len(data), len(acc))
+			}
+			for i, x := range data {
+				acc[i] += x
+			}
+			putScratch(data)
 		}
 	}
-	// Inter-leader binomial tree on leader indices.
+	// Only leaders (q == 0) reach the inter-leader binomial tree.
 	nLeaders := (c.size + ranksPerNode - 1) / ranksPerNode
 	myLeaderIdx := leader / ranksPerNode
 	rootLeaderIdx := root / ranksPerNode
@@ -357,9 +461,13 @@ func (c *Comm) HierarchicalReduce(root int, buf []float32, ranksPerNode int) err
 			if err != nil {
 				return err
 			}
+			if len(data) != len(acc) {
+				return fmt.Errorf("mpi: hierarchical buffer length %d, expected %d", len(data), len(acc))
+			}
 			for i, x := range data {
 				acc[i] += x
 			}
+			putScratch(data)
 		}
 	}
 	return nil

@@ -412,16 +412,59 @@ func TestReduceProperty(t *testing.T) {
 
 func TestPayloadBytes(t *testing.T) {
 	cases := []struct {
-		data any
-		want int64
+		data  any
+		want  int64
+		known bool
 	}{
-		{nil, 0}, {[]float32{1, 2}, 8}, {[]float64{1}, 8}, {[]byte{1, 2, 3}, 3},
-		{[]int{1, 2}, 16}, {42, 8}, {"abc", 3}, {struct{}{}, 0},
+		{nil, 0, true}, {[]float32{1, 2}, 8, true}, {[]float64{1}, 8, true},
+		{[]byte{1, 2, 3}, 3, true}, {[]int{1, 2}, 16, true}, {42, 8, true},
+		{"abc", 3, true},
+		{[][]float32{{1, 2}, {3}, nil}, 12, true},
+		{struct{}{}, 0, false}, {map[int]int{}, 0, false},
 	}
 	for _, tc := range cases {
-		if got := payloadBytes(tc.data); got != tc.want {
-			t.Errorf("payloadBytes(%T) = %d, want %d", tc.data, got, tc.want)
+		got, known := payloadBytes(tc.data)
+		if got != tc.want || known != tc.known {
+			t.Errorf("payloadBytes(%T) = (%d, %v), want (%d, %v)", tc.data, got, known, tc.want, tc.known)
 		}
+	}
+}
+
+// An unknown payload type must leave an explicit marker in the stats
+// instead of silently undercounting traffic.
+func TestUnknownPayloadCounter(t *testing.T) {
+	type opaque struct{ x int }
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 1, opaque{7}); err != nil {
+				return err
+			}
+			if got := c.Stats().UnknownPayloads; got != 1 {
+				return fmt.Errorf("sender UnknownPayloads = %d, want 1", got)
+			}
+			return nil
+		}
+		if _, err := c.Recv(0, 1); err != nil {
+			return err
+		}
+		if got := c.Stats().UnknownPayloads; got != 1 {
+			return fmt.Errorf("receiver UnknownPayloads = %d, want 1", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Gather's root-side result is a [][]float32; its byte size must be
+// counted, not dropped (the seed silently returned 0 for slice-of-slice
+// payloads elsewhere).
+func TestGatherResultPayloadCounted(t *testing.T) {
+	nested := [][]float32{{1, 2, 3}, {4}}
+	got, known := payloadBytes(nested)
+	if !known || got != 16 {
+		t.Fatalf("payloadBytes([][]float32) = (%d, %v), want (16, true)", got, known)
 	}
 }
 

@@ -8,18 +8,34 @@ import (
 
 // Mixed-collective stress: every rank runs the same randomised (but
 // rank-agnostic) schedule of collectives with varying payload sizes. Any
-// ordering or matching bug deadlocks or corrupts; run with -race in CI.
+// ordering or matching bug deadlocks or corrupts; the whole schedule runs
+// once with the buffer arena on and once off, so recycled-scratch races
+// (a buffer returned while a reader still holds it) surface under -race.
 func TestCollectiveStress(t *testing.T) {
+	for _, pooled := range []bool{true, false} {
+		t.Run(fmt.Sprintf("pooled=%v", pooled), func(t *testing.T) {
+			prev := SetBufferPooling(pooled)
+			defer SetBufferPooling(prev)
+			runCollectiveStress(t)
+		})
+	}
+}
+
+func runCollectiveStress(t *testing.T) {
 	const n = 6
-	const rounds = 25
+	const rounds = 40
 	// The schedule must be identical across ranks: derive it from a
 	// shared seed before spawning.
 	schedule := make([]int, rounds)
 	sizes := make([]int, rounds)
+	chunks := make([]int, rounds)
+	rpns := make([]int, rounds)
 	rng := rand.New(rand.NewSource(42))
 	for i := range schedule {
-		schedule[i] = rng.Intn(5)
+		schedule[i] = rng.Intn(7)
 		sizes[i] = 1 + rng.Intn(512)
+		chunks[i] = 1 + rng.Intn(sizes[i]+16) // sometimes larger than the buffer
+		rpns[i] = []int{1, 2, 3, 6}[rng.Intn(4)]
 	}
 	err := Run(n, func(c *Comm) error {
 		for round, op := range schedule {
@@ -68,6 +84,27 @@ func TestCollectiveStress(t *testing.T) {
 						if out[r][0] != float32(r+round) {
 							return fmt.Errorf("round %d: gather[%d] = %g", round, r, out[r][0])
 						}
+					}
+				}
+			case 5:
+				if err := c.ReduceChunked(round%n, buf, chunks[round]); err != nil {
+					return err
+				}
+				if c.Rank() == round%n {
+					want := float32(n*(n-1)/2 + n*round)
+					if buf[0] != want {
+						return fmt.Errorf("round %d: chunked reduce %g, want %g", round, buf[0], want)
+					}
+				}
+			case 6:
+				// Root must be a node leader; 0 always is.
+				if err := c.HierarchicalReduce(0, buf, rpns[round]); err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					want := float32(n*(n-1)/2 + n*round)
+					if buf[0] != want {
+						return fmt.Errorf("round %d: hierarchical reduce %g, want %g", round, buf[0], want)
 					}
 				}
 			}

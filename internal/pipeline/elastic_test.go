@@ -1,0 +1,177 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Property: whatever the upstream worker counts and per-batch latencies,
+// the (sequential) store stage observes batches 0..N−1 in exactly that
+// order — the reorder buffer's whole contract. Order at the point of
+// observation is only defined for a Workers==1 observer; an elastic store
+// would by design run its observations concurrently.
+func TestElasticOrderedDeliveryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		nBatches := 1 + rng.Intn(40)
+		workers := []int{1 + rng.Intn(8), 1 + rng.Intn(8), 1}
+		// Per-batch latencies are chosen up front so both elastic stages
+		// jitter deterministically per trial.
+		lat := make([]time.Duration, nBatches)
+		for i := range lat {
+			lat[i] = time.Duration(rng.Intn(3)) * time.Millisecond
+		}
+		var mu sync.Mutex
+		var got []int
+		p, err := New(
+			Stage{Name: "gen", Workers: workers[0], Fn: func(b int, _ any) (any, error) {
+				time.Sleep(lat[b])
+				return b * 10, nil
+			}},
+			Stage{Name: "mid", Workers: workers[1], Fn: func(b int, in any) (any, error) {
+				time.Sleep(lat[(b*7+3)%len(lat)])
+				return in.(int) + 1, nil
+			}},
+			Stage{Name: "store", Fn: func(b int, in any) (any, error) {
+				if in.(int) != b*10+1 {
+					return nil, fmt.Errorf("batch %d carried payload %v", b, in)
+				}
+				mu.Lock()
+				got = append(got, b)
+				mu.Unlock()
+				return nil, nil
+			}},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Run(nBatches); err != nil {
+			t.Fatalf("trial %d (workers %v): %v", trial, workers, err)
+		}
+		if len(got) != nBatches {
+			t.Fatalf("trial %d: stored %d of %d batches", trial, len(got), nBatches)
+		}
+		for i, b := range got {
+			if b != i {
+				t.Fatalf("trial %d (workers %v): store saw %v, want 0..%d in order",
+					trial, workers, got, nBatches-1)
+			}
+		}
+	}
+}
+
+// An elastic stage actually overlaps its batches: with W workers on a
+// latency-bound stage, wall time collapses by ~W.
+func TestElasticStageOverlapsBatches(t *testing.T) {
+	const d = 10 * time.Millisecond
+	const nBatches = 8
+	run := func(workers int) time.Duration {
+		p, _ := New(
+			Stage{Name: "gen", Fn: func(int, any) (any, error) { return nil, nil }},
+			Stage{Name: "bp", Workers: workers, Fn: func(int, any) (any, error) {
+				time.Sleep(d)
+				return nil, nil
+			}},
+			Stage{Name: "store", Fn: func(int, any) (any, error) { return nil, nil }},
+		)
+		start := time.Now()
+		if err := p.Run(nBatches); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	serial := run(1)
+	elastic := run(4)
+	if elastic > serial*2/3 {
+		t.Fatalf("4 workers took %v, want well under the 1-worker %v", elastic, serial)
+	}
+}
+
+// Error in an elastic stage: the run reports it, upstream stays live, and
+// downstream receives a clean contiguous prefix of batches.
+func TestElasticErrorDrainsAndEmitsPrefix(t *testing.T) {
+	var stored []int
+	var mu sync.Mutex
+	p, _ := New(
+		Stage{Name: "src", Fn: func(b int, _ any) (any, error) { return b, nil }},
+		Stage{Name: "mid", Workers: 3, Fn: func(b int, in any) (any, error) {
+			if b == 10 {
+				return nil, errors.New("kaboom")
+			}
+			return in, nil
+		}},
+		Stage{Name: "store", Fn: func(b int, in any) (any, error) {
+			mu.Lock()
+			stored = append(stored, b)
+			mu.Unlock()
+			return nil, nil
+		}},
+	)
+	err := p.Run(50)
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("expected kaboom, got %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(stored) > 10 {
+		t.Fatalf("store received %d batches, failure was at batch 10", len(stored))
+	}
+	for i, b := range stored {
+		if b != i {
+			t.Fatalf("store saw non-contiguous prefix %v", stored)
+		}
+	}
+}
+
+// The elastic machinery must not run more than Workers stage functions at
+// once.
+func TestElasticConcurrencyBounded(t *testing.T) {
+	const workers = 3
+	var inFlight, maxInFlight atomic.Int64
+	p, _ := New(
+		Stage{Name: "gen", Fn: func(int, any) (any, error) { return nil, nil }},
+		Stage{Name: "bp", Workers: workers, Fn: func(int, any) (any, error) {
+			n := inFlight.Add(1)
+			for {
+				m := maxInFlight.Load()
+				if n <= m || maxInFlight.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			return nil, nil
+		}},
+	)
+	if err := p.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	if got := maxInFlight.Load(); got > workers {
+		t.Fatalf("observed %d concurrent invocations, worker cap is %d", got, workers)
+	}
+}
+
+func TestRunRejectsInvalidQueueDepth(t *testing.T) {
+	p, _ := New(Stage{Name: "a", Fn: func(int, any) (any, error) { return nil, nil }})
+	p.QueueDepth = 0
+	if err := p.Run(3); err == nil || !strings.Contains(err.Error(), "QueueDepth") {
+		t.Fatalf("expected QueueDepth validation error, got %v", err)
+	}
+	p.QueueDepth = -1
+	if err := p.Run(3); err == nil {
+		t.Fatal("expected QueueDepth validation error")
+	}
+}
+
+func TestNewRejectsNegativeWorkers(t *testing.T) {
+	_, err := New(Stage{Name: "a", Workers: -2, Fn: func(int, any) (any, error) { return nil, nil }})
+	if err == nil {
+		t.Fatal("expected negative-workers error")
+	}
+}

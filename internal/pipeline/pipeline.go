@@ -1,9 +1,13 @@
 // Package pipeline implements the end-to-end processing pipeline of
 // Figure 9: a chain of stages (load → filter → back-projection → MPI →
-// store in the paper) connected by bounded FIFO queues, one goroutine per
-// stage, so every batch flows through all stages while different batches
-// occupy different stages concurrently. A Tracer records per-stage spans
-// and renders the Figure 10-style timeline that demonstrates the overlap.
+// store in the paper) connected by bounded FIFO queues, so every batch
+// flows through all stages while different batches occupy different
+// stages concurrently. A stage may declare Workers > 1 to process several
+// batches at once (an elastic stage); a reorder buffer restores batch
+// order before the next queue, so downstream stages always observe the
+// same ordered stream as the single-worker pipeline. A Tracer records
+// per-stage spans and renders the Figure 10-style timeline that
+// demonstrates the overlap.
 package pipeline
 
 import (
@@ -11,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,20 +28,36 @@ type StageFunc func(batch int, in any) (any, error)
 type Stage struct {
 	Name string
 	Fn   StageFunc
+	// Workers is the number of concurrent executions of Fn this stage may
+	// run; 0 and 1 both mean the classic one-goroutine stage. When
+	// Workers > 1, Fn MUST be safe for concurrent calls: batches are
+	// dispatched to Workers goroutines in arrival order and their results
+	// pass through a reorder buffer, so the next stage still receives
+	// batches in the original order, but up to Workers invocations of Fn
+	// run simultaneously and must not share unsynchronised mutable state.
+	Workers int
 }
 
 // Pipeline executes its stages over a sequence of batches.
 type Pipeline struct {
 	stages []Stage
-	// QueueDepth bounds each inter-stage FIFO (Figure 9's queues);
-	// defaults to 2, enough to decouple neighbours without unbounded
-	// buffering of multi-gigabyte payloads.
+	// QueueDepth bounds each inter-stage FIFO (Figure 9's queues). New
+	// initialises it to DefaultQueueDepth, enough to decouple neighbours
+	// without unbounded buffering of multi-gigabyte payloads; callers may
+	// raise it before Run. Run rejects non-positive values instead of
+	// silently substituting a default.
 	QueueDepth int
 	// Tracer, when non-nil, records spans for every (stage, batch).
 	Tracer *Tracer
 }
 
-// New builds a pipeline from the given stages.
+// DefaultQueueDepth is the inter-stage FIFO bound New installs.
+const DefaultQueueDepth = 2
+
+// New builds a pipeline from the given stages and validates them: every
+// stage needs a function and a non-negative worker count. QueueDepth is
+// set to DefaultQueueDepth here — Run does not default it, so a caller
+// that overrides the field owns the value it set.
 func New(stages ...Stage) (*Pipeline, error) {
 	if len(stages) == 0 {
 		return nil, errors.New("pipeline: no stages")
@@ -45,8 +66,11 @@ func New(stages ...Stage) (*Pipeline, error) {
 		if s.Fn == nil {
 			return nil, fmt.Errorf("pipeline: stage %d (%q) has no function", i, s.Name)
 		}
+		if s.Workers < 0 {
+			return nil, fmt.Errorf("pipeline: stage %d (%q) has negative worker count %d", i, s.Name, s.Workers)
+		}
 	}
-	return &Pipeline{stages: stages, QueueDepth: 2}, nil
+	return &Pipeline{stages: stages, QueueDepth: DefaultQueueDepth}, nil
 }
 
 type item struct {
@@ -54,21 +78,48 @@ type item struct {
 	payload any
 }
 
+// seqItem tags an item with its arrival sequence number at a stage, the
+// key the reorder buffer emits by.
+type seqItem struct {
+	seq int
+	item
+	ok bool // false: dropped (stage error), advance the cursor only
+}
+
+// stageState is the shared error/drain state of one elastic stage's
+// workers.
+type stageState struct {
+	failed atomic.Bool
+	mu     sync.Mutex
+	err    error
+}
+
+func (s *stageState) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.failed.Store(true)
+}
+
 // Run pushes batches 0..nBatches−1 through every stage and returns the
 // first error from each failing stage. After a stage fails it keeps
 // draining its input so upstream stages never block, preserving liveness.
+// Elastic stages (Workers > 1) preserve both properties: batches they
+// emit are restored to input order, and on error the remaining input is
+// drained without invoking the stage function.
 func (p *Pipeline) Run(nBatches int) error {
 	if nBatches < 0 {
 		return fmt.Errorf("pipeline: negative batch count %d", nBatches)
 	}
-	depth := p.QueueDepth
-	if depth <= 0 {
-		depth = 2
+	if p.QueueDepth <= 0 {
+		return fmt.Errorf("pipeline: QueueDepth %d must be positive (New sets %d)", p.QueueDepth, DefaultQueueDepth)
 	}
 	n := len(p.stages)
 	queues := make([]chan item, n-1)
 	for i := range queues {
-		queues[i] = make(chan item, depth)
+		queues[i] = make(chan item, p.QueueDepth)
 	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -76,45 +127,149 @@ func (p *Pipeline) Run(nBatches int) error {
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
-			stage := p.stages[si]
+			var in <-chan item
+			if si > 0 {
+				in = queues[si-1]
+			}
 			var out chan<- item
 			if si < n-1 {
 				out = queues[si]
 				defer close(queues[si])
 			}
-			process := func(it item) {
-				if errs[si] != nil {
-					return // draining after failure
-				}
-				var end func()
-				if p.Tracer != nil {
-					end = p.Tracer.Span(stage.Name, it.batch)
-				}
-				payload, err := stage.Fn(it.batch, it.payload)
-				if end != nil {
-					end()
-				}
-				if err != nil {
-					errs[si] = fmt.Errorf("pipeline: stage %q batch %d: %w", stage.Name, it.batch, err)
-					return
-				}
-				if out != nil {
-					out <- item{batch: it.batch, payload: payload}
-				}
-			}
-			if si == 0 {
-				for b := 0; b < nBatches; b++ {
-					process(item{batch: b})
-				}
-				return
-			}
-			for it := range queues[si-1] {
-				process(it)
-			}
+			errs[si] = p.runStage(si, nBatches, in, out)
 		}(si)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// runStage executes one stage until its input is exhausted. in is nil for
+// the first stage, which generates batches 0..nBatches−1 itself; out is
+// nil for the last stage.
+func (p *Pipeline) runStage(si, nBatches int, in <-chan item, out chan<- item) error {
+	stage := p.stages[si]
+	if stage.Workers <= 1 {
+		// Classic sequential stage: no dispatch/reorder machinery.
+		var stageErr error
+		process := func(it item) {
+			if stageErr != nil {
+				return // draining after failure
+			}
+			payload, err := p.invoke(stage, it)
+			if err != nil {
+				stageErr = err
+				return
+			}
+			if out != nil {
+				out <- item{batch: it.batch, payload: payload}
+			}
+		}
+		if in == nil {
+			for b := 0; b < nBatches; b++ {
+				process(item{batch: b})
+			}
+		} else {
+			for it := range in {
+				process(it)
+			}
+		}
+		return stageErr
+	}
+
+	// Elastic stage: a dispatcher tags arriving items with sequence
+	// numbers, Workers goroutines run the stage function concurrently,
+	// and the emitter below releases results to the output queue in
+	// sequence order (the reorder buffer).
+	state := &stageState{}
+	work := make(chan seqItem)
+	results := make(chan seqItem, stage.Workers)
+
+	var workerWG sync.WaitGroup
+	for w := 0; w < stage.Workers; w++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for wi := range work {
+				if state.failed.Load() {
+					wi.ok = false // drain without running the stage
+					results <- wi
+					continue
+				}
+				payload, err := p.invoke(stage, wi.item)
+				if err != nil {
+					state.fail(err)
+					wi.ok = false
+				} else {
+					wi.payload = payload
+					wi.ok = true
+				}
+				results <- wi
+			}
+		}()
+	}
+	go func() { // dispatcher
+		defer close(work)
+		seq := 0
+		if in == nil {
+			for b := 0; b < nBatches; b++ {
+				work <- seqItem{seq: seq, item: item{batch: b}}
+				seq++
+			}
+			return
+		}
+		for it := range in {
+			work <- seqItem{seq: seq, item: it}
+			seq++
+		}
+	}()
+	go func() {
+		workerWG.Wait()
+		close(results)
+	}()
+
+	// Emitter / reorder buffer: forward results in sequence order. The
+	// first dropped sequence ends the emitted stream, so downstream sees
+	// a clean contiguous prefix of the input order, exactly like a
+	// sequential stage that stops forwarding at its first error.
+	pending := map[int]seqItem{}
+	next := 0
+	stopped := false
+	for r := range results {
+		pending[r.seq] = r
+		for {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if !cur.ok {
+				stopped = true
+			}
+			if cur.ok && !stopped && out != nil {
+				out <- cur.item
+			}
+		}
+	}
+	state.mu.Lock()
+	defer state.mu.Unlock()
+	return state.err
+}
+
+// invoke runs the stage function on one item under the tracer.
+func (p *Pipeline) invoke(stage Stage, it item) (any, error) {
+	var end func()
+	if p.Tracer != nil {
+		end = p.Tracer.Span(stage.Name, it.batch)
+	}
+	payload, err := stage.Fn(it.batch, it.payload)
+	if end != nil {
+		end()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: stage %q batch %d: %w", stage.Name, it.batch, err)
+	}
+	return payload, nil
 }
 
 // Span is one traced execution of a stage on a batch.

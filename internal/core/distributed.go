@@ -39,8 +39,11 @@ type ClusterOptions struct {
 	// chunk-pipelined slab reduction: 0 picks one XY plane (NX·NY), which
 	// overlaps tree latency with accumulation plane by plane; a negative
 	// value disables chunking and uses the monolithic Reduce. Ignored when
-	// Hierarchical is set. Every setting produces bit-identical volumes —
-	// the per-element summation order is fixed across variants.
+	// Hierarchical is set. Every ReduceChunk setting — chunked at any size
+	// or monolithic — produces bit-identical volumes, because the fused
+	// accumulate fixes the per-element summation order. The hierarchical
+	// path matches them only when RanksPerNode is a power of two dividing
+	// the group size (see mpi.HierarchicalReduce).
 	ReduceChunk int
 	// Output receives reduced slabs from group leaders (required).
 	Output SlabSink

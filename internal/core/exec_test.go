@@ -5,6 +5,7 @@ import (
 
 	"distfdk/internal/device"
 	"distfdk/internal/mpi"
+	"distfdk/internal/pipeline"
 	"distfdk/internal/projection"
 	"distfdk/internal/volume"
 )
@@ -74,7 +75,7 @@ func TestElasticBackprojectionOutOfCore(t *testing.T) {
 	}
 
 	// Size the budget to what the elastic run needs: windowed ring + slab.
-	releaseLag := 2 + 4 + 2 // DefaultQueueDepth + workers + margin, as in single.go
+	releaseLag := pipeline.UpstreamCompletionLag(pipeline.DefaultQueueDepth, 4) // as in single.go
 	ringBytes := 4 * int64(sys.NU) * int64(sys.NP) * int64(p.RingDepthWindow(0, releaseLag+1))
 	budget := ringBytes + 4*p.SlabBytes()
 	ela, _ := NewVolumeSink(sys)

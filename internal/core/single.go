@@ -94,8 +94,9 @@ type ReconOptions struct {
 	// BPWorkers sets the worker count of the back-projection stage.
 	// Values > 1 make the stage elastic: batches back-project concurrently
 	// behind a reorder buffer, with ring uploads split into a dedicated
-	// sequential stage whose lagged row release keeps every in-flight
-	// batch's rows resident (the ring is sized deeper to match). The
+	// sequential stage that releases rows only once the pipeline's
+	// in-flight bound proves no concurrent batch can still read them (the
+	// ring is sized deeper to match). The
 	// reconstruction is bit-identical to BPWorkers=1. Falls back to the
 	// sequential stage when the slab schedule needs a ring reset (disjoint
 	// row ranges) or the pipeline is disabled.
@@ -172,10 +173,21 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 	if !elastic {
 		bpWorkers = 1
 	}
-	// Batches that may still be reading the ring when the upload stage
-	// starts batch c: the inter-stage queue, the dispatcher hand-off, and
-	// the workers themselves, plus one batch of margin.
-	releaseLag := pipeline.DefaultQueueDepth + bpWorkers + 2
+	// The release lag is derived from the pipeline's completion guarantee,
+	// not an estimate of buffering: UpstreamCompletionLag proves that while
+	// the (sequential) upload stage processes batch c, every batch below
+	// c − releaseLag has finished back-projecting — the connecting queue
+	// holds at most queueDepth batches the elastic stage has not taken, and
+	// dispatch credits keep any taken batch within InFlightBound of the
+	// in-order completion cursor. Any batch still reading the ring thus has
+	// index ≥ c − releaseLag, and with monotone slab rows it only needs
+	// rows at or above batch (c−releaseLag)'s start — exactly the watermark
+	// uploadStage releases to, so a straggling batch can stall indefinitely
+	// without its rows being evicted. queueDepth is pinned here and
+	// installed on the pipeline below so the coupling cannot silently
+	// drift if the depth is ever tuned.
+	queueDepth := pipeline.DefaultQueueDepth
+	releaseLag := pipeline.UpstreamCompletionLag(queueDepth, bpWorkers)
 	depth := p.RingDepth(0)
 	if elastic {
 		depth = p.RingDepthWindow(0, releaseLag+1)
@@ -251,8 +263,9 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 		return slab, nil
 	}
 	// The elastic split of bpStage: a sequential upload stage owns all ring
-	// mutation, releasing rows only once every batch that could still read
-	// them has passed (the lagged watermark); the back-project stage then
+	// mutation, releasing rows only below the start of batch c−releaseLag —
+	// rows that, by the pipeline's in-flight bound (see releaseLag above),
+	// no batch still back-projecting can touch; the back-project stage then
 	// only reads the ring and can run its batches concurrently.
 	uploadStage := func(c int, in any) (any, error) {
 		rows := p.SlabRows(0, c)
@@ -325,6 +338,9 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 		if err != nil {
 			return nil, err
 		}
+		// releaseLag and the ring depth were derived from queueDepth above;
+		// installing it explicitly asserts the coupling in code.
+		pl.QueueDepth = queueDepth
 		pl.Tracer = opts.Tracer
 		if err := pl.Run(p.BatchCount); err != nil {
 			return nil, err

@@ -157,6 +157,103 @@ func TestElasticConcurrencyBounded(t *testing.T) {
 	}
 }
 
+// One straggling batch must not let the stage run arbitrarily far ahead:
+// with batch 0 stuck, dispatch freezes at InFlightBound(QueueDepth,
+// Workers) batches — the reorder buffer stays bounded, and schedules of
+// shared resources (the core projection ring) can rely on batch b being
+// dispatched only after batch b−bound has completed.
+func TestElasticInFlightBounded(t *testing.T) {
+	const workers = 3
+	const nBatches = 64
+	release := make(chan struct{})
+	var maxSeen atomic.Int64
+	p, _ := New(
+		Stage{Name: "gen", Fn: func(b int, _ any) (any, error) { return b, nil }},
+		Stage{Name: "bp", Workers: workers, Fn: func(b int, in any) (any, error) {
+			for {
+				m := maxSeen.Load()
+				if int64(b) <= m || maxSeen.CompareAndSwap(m, int64(b)) {
+					break
+				}
+			}
+			if b == 0 {
+				<-release
+			}
+			return in, nil
+		}},
+		Stage{Name: "store", Fn: func(int, any) (any, error) { return nil, nil }},
+	)
+	bound := InFlightBound(p.QueueDepth, workers)
+	var frozenAt int64
+	go func() {
+		// Give the stage ample time to run as far ahead as it can while
+		// batch 0 blocks the in-order cursor, then record how far it got.
+		time.Sleep(100 * time.Millisecond)
+		frozenAt = maxSeen.Load()
+		close(release)
+	}()
+	if err := p.Run(nBatches); err != nil {
+		t.Fatal(err)
+	}
+	// Run returning implies batch 0 completed, which happens after
+	// close(release), so reading frozenAt here is race-free.
+	if frozenAt > int64(bound-1) {
+		t.Fatalf("with batch 0 stuck, a worker saw batch %d; in-flight bound is %d batches (max batch %d)",
+			frozenAt, bound, bound-1)
+	}
+	if maxSeen.Load() != nBatches-1 {
+		t.Fatalf("run did not reach batch %d after release (max seen %d)", nBatches-1, maxSeen.Load())
+	}
+}
+
+// A sequential stage directly upstream of an elastic stage cannot run
+// more than UpstreamCompletionLag batches ahead of the elastic stage's
+// oldest incomplete batch — the contract core's projection-ring release
+// schedule is built on. With batch 0 stuck inside the elastic stage,
+// upstream progress must freeze at the lag: the connecting queue fills
+// and the dispatcher, out of credits, stops taking from it.
+func TestElasticUpstreamCompletionLag(t *testing.T) {
+	const workers = 2
+	const nBatches = 64
+	release := make(chan struct{})
+	var upstreamMax atomic.Int64
+	p, _ := New(
+		Stage{Name: "upload", Fn: func(b int, _ any) (any, error) {
+			for {
+				m := upstreamMax.Load()
+				if int64(b) <= m || upstreamMax.CompareAndSwap(m, int64(b)) {
+					break
+				}
+			}
+			return b, nil
+		}},
+		Stage{Name: "bp", Workers: workers, Fn: func(b int, in any) (any, error) {
+			if b == 0 {
+				<-release
+			}
+			return in, nil
+		}},
+		Stage{Name: "store", Fn: func(int, any) (any, error) { return nil, nil }},
+	)
+	lag := UpstreamCompletionLag(p.QueueDepth, workers)
+	var frozenAt int64
+	go func() {
+		// Give upstream ample time to run as far ahead as the credits and
+		// queue allow, then record where it froze.
+		time.Sleep(100 * time.Millisecond)
+		frozenAt = upstreamMax.Load()
+		close(release)
+	}()
+	if err := p.Run(nBatches); err != nil {
+		t.Fatal(err)
+	}
+	// Run returning implies batch 0 completed, which happens after
+	// close(release), so reading frozenAt here is race-free.
+	if frozenAt > int64(lag) {
+		t.Fatalf("with elastic batch 0 stuck, upstream started batch %d; completion lag is %d", frozenAt, lag)
+	}
+}
+
 func TestRunRejectsInvalidQueueDepth(t *testing.T) {
 	p, _ := New(Stage{Name: "a", Fn: func(int, any) (any, error) { return nil, nil }})
 	p.QueueDepth = 0

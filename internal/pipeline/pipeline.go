@@ -5,9 +5,12 @@
 // stages concurrently. A stage may declare Workers > 1 to process several
 // batches at once (an elastic stage); a reorder buffer restores batch
 // order before the next queue, so downstream stages always observe the
-// same ordered stream as the single-worker pipeline. A Tracer records
-// per-stage spans and renders the Figure 10-style timeline that
-// demonstrates the overlap.
+// same ordered stream as the single-worker pipeline. The reorder buffer
+// is bounded: dispatch credits stop an elastic stage from accepting a
+// batch until every batch more than InFlightBound positions before it
+// has been emitted in order, so one straggling batch can never buffer
+// the rest of the run in memory. A Tracer records per-stage spans and
+// renders the Figure 10-style timeline that demonstrates the overlap.
 package pipeline
 
 import (
@@ -35,6 +38,11 @@ type Stage struct {
 	// pass through a reorder buffer, so the next stage still receives
 	// batches in the original order, but up to Workers invocations of Fn
 	// run simultaneously and must not share unsynchronised mutable state.
+	// Dispatch is credit-bounded: batch b enters a worker only after every
+	// batch ≤ b − InFlightBound(QueueDepth, Workers) has been emitted to
+	// the next stage, which both caps the reorder buffer and gives
+	// upstream stages a hard completion guarantee to schedule shared
+	// resources against (see internal/core's projection-ring release).
 	Workers int
 }
 
@@ -53,6 +61,47 @@ type Pipeline struct {
 
 // DefaultQueueDepth is the inter-stage FIFO bound New installs.
 const DefaultQueueDepth = 2
+
+// InFlightBound returns the maximum number of batches an elastic stage
+// with the given worker count may hold between intake and in-order
+// emission, in a pipeline with the given queue depth. Run enforces the
+// bound with dispatch credits: the dispatcher spends one credit per batch
+// it takes from the stage's input (before the take, so waiting batches
+// stay in the bounded queue) and the emitter returns one per sequence
+// number it retires in order, so whenever batch b has entered the stage,
+// every batch ≤ b − InFlightBound has already completed and been
+// emitted. queueDepth's share of the bound is pure slack so the workers
+// stay saturated while the emitter waits on a slow head batch.
+func InFlightBound(queueDepth, workers int) int {
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return queueDepth + workers
+}
+
+// UpstreamCompletionLag returns the completion guarantee a sequential
+// stage holds over an elastic stage with the given worker count fed
+// directly by its output queue: while the upstream stage processes batch
+// c, every batch strictly below c − UpstreamCompletionLag has been fully
+// processed and emitted by the elastic stage (batch c − lag itself may
+// still be in flight). The accounting: when the upstream stage starts
+// batch c it has completed c sends, at most queueDepth of them still sit
+// in the connecting queue, so the elastic stage has taken at least
+// c − queueDepth batches, and the dispatch credits guarantee every batch
+// more than InFlightBound below the newest taken one has emitted. Callers that
+// stage per-batch resources shared with a downstream elastic stage (the
+// projection ring in internal/core) derive their release schedule from
+// this lag; Run's credit-before-take dispatch order is what makes the
+// bound sound, so tests pin both.
+func UpstreamCompletionLag(queueDepth, workers int) int {
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	return queueDepth + InFlightBound(queueDepth, workers)
+}
 
 // New builds a pipeline from the given stages and validates them: every
 // stage needs a function and a non-negative worker count. QueueDepth is
@@ -179,10 +228,23 @@ func (p *Pipeline) runStage(si, nBatches int, in <-chan item, out chan<- item) e
 	// Elastic stage: a dispatcher tags arriving items with sequence
 	// numbers, Workers goroutines run the stage function concurrently,
 	// and the emitter below releases results to the output queue in
-	// sequence order (the reorder buffer).
+	// sequence order (the reorder buffer). Dispatch credits bound how far
+	// the stage runs ahead of its in-order output: the dispatcher spends
+	// one credit per item it takes from its input and the emitter returns
+	// one per sequence number it retires, so taken − emitted ≤ bound at
+	// all times. The pending map below therefore never holds more than
+	// bound items, and a batch enters the stage only after every batch
+	// ≤ seq − bound has completed — the invariant behind
+	// UpstreamCompletionLag, which external resource schedules (the core
+	// projection ring) rely on.
 	state := &stageState{}
 	work := make(chan seqItem)
 	results := make(chan seqItem, stage.Workers)
+	bound := InFlightBound(p.QueueDepth, stage.Workers)
+	credits := make(chan struct{}, bound)
+	for i := 0; i < bound; i++ {
+		credits <- struct{}{}
+	}
 
 	var workerWG sync.WaitGroup
 	for w := 0; w < stage.Workers; w++ {
@@ -209,15 +271,24 @@ func (p *Pipeline) runStage(si, nBatches int, in <-chan item, out chan<- item) e
 	}
 	go func() { // dispatcher
 		defer close(work)
-		seq := 0
 		if in == nil {
 			for b := 0; b < nBatches; b++ {
-				work <- seqItem{seq: seq, item: item{batch: b}}
-				seq++
+				<-credits // wait until batch b−bound has been emitted
+				work <- seqItem{seq: b, item: item{batch: b}}
 			}
 			return
 		}
-		for it := range in {
+		// The credit is acquired BEFORE taking from the input queue:
+		// batches the stage is not yet allowed to start stay in the
+		// bounded queue, exerting backpressure on the upstream stage.
+		// UpstreamCompletionLag's accounting depends on this order.
+		seq := 0
+		for {
+			<-credits // wait until batch seq−bound has been emitted
+			it, ok := <-in
+			if !ok {
+				return
+			}
 			work <- seqItem{seq: seq, item: it}
 			seq++
 		}
@@ -227,10 +298,14 @@ func (p *Pipeline) runStage(si, nBatches int, in <-chan item, out chan<- item) e
 		close(results)
 	}()
 
-	// Emitter / reorder buffer: forward results in sequence order. The
-	// first dropped sequence ends the emitted stream, so downstream sees
-	// a clean contiguous prefix of the input order, exactly like a
-	// sequential stage that stops forwarding at its first error.
+	// Emitter / reorder buffer: forward results in sequence order,
+	// returning one dispatch credit per sequence number retired (the
+	// credit channel's capacity is bound and retired ≤ dispatched, so the
+	// send never blocks). The first dropped sequence ends the emitted
+	// stream, so downstream sees a clean contiguous prefix of the input
+	// order, exactly like a sequential stage that stops forwarding at its
+	// first error; credits keep flowing after the stop so the dispatcher
+	// drains upstream without deadlock.
 	pending := map[int]seqItem{}
 	next := 0
 	stopped := false
@@ -243,6 +318,7 @@ func (p *Pipeline) runStage(si, nBatches int, in <-chan item, out chan<- item) e
 			}
 			delete(pending, next)
 			next++
+			credits <- struct{}{}
 			if !cur.ok {
 				stopped = true
 			}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check bench bench-json bench-exec experiments examples clean
+.PHONY: all build test race check chaos bench bench-json bench-exec experiments examples clean
 
 all: build test
 
@@ -23,6 +23,18 @@ race:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Fault-tolerance gate: the seeded chaos matrix (transient recovery must be
+# bit-identical, permanent faults must surface typed and bounded with zero
+# leaked goroutines — the goroutine-settle check is part of the matrix),
+# kill-and-resume, the deadline/teardown suite and the journal/atomic-write
+# storage tests, all under the race detector. -count=1 defeats the test
+# cache so the schedules actually re-run.
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'TestChaos|TestReconstructSingleRetryAndResume|TestRecvDeadline|TestWorldTeardown|TestSplitInherits|TestInterceptor|TestSendDeadline|TestTeardownLeavesNoGoroutines|TestElasticError|TestJournal|TestWriteStackIsAtomic|TestOpenStackRejects|TestSlabWriterPartial|TestResumeSlabWriter' \
+		./internal/core/ ./internal/mpi/ ./internal/fault/ ./internal/storage/ ./internal/pipeline/
+	$(GO) test -race -count=1 ./internal/fault/
 
 bench:
 	$(GO) test -bench=. -benchmem -timeout 45m ./...

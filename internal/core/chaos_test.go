@@ -1,0 +1,416 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"distfdk/internal/device"
+	"distfdk/internal/fault"
+	"distfdk/internal/mpi"
+	"distfdk/internal/projection"
+	"distfdk/internal/storage"
+)
+
+// nonEmptyBatches counts the (group, batch) pairs a plan actually stores.
+func nonEmptyBatches(p *Plan) int {
+	n := 0
+	for g := 0; g < p.NGroups; g++ {
+		for c := 0; c < p.BatchCount; c++ {
+			if _, nz := p.SlabZ(g, c); nz > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Transient chaos matrix: seeded schedules of flaky loads, flaky stores
+// and stragglers must be fully absorbed by the retry policy and
+// deadline-aware collectives — same exit code, bit-identical volume.
+func TestChaosMatrixTransient(t *testing.T) {
+	sys := testSystem()
+	st := sheppStack(t, sys)
+	src := &projection.MemorySource{Full: st}
+
+	p, err := NewPlan(sys, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := NewVolumeSink(sys)
+	if _, err := RunDistributed(ClusterOptions{Plan: p, Source: src, Output: clean}); err != nil {
+		t.Fatal(err)
+	}
+
+	schedules := []struct {
+		name  string
+		seed  int64
+		rules []fault.Rule
+	}{
+		{"first-load-flaky-everywhere", 1, []fault.Rule{
+			{Op: fault.OpLoad, Rank: fault.AnyRank, Nth: 1, Count: 1, Class: fault.Transient},
+		}},
+		{"rank2-load-double-fault", 2, []fault.Rule{
+			{Op: fault.OpLoad, Rank: 2, Nth: 2, Count: 2, Class: fault.Transient},
+		}},
+		{"leader-store-flaky", 3, []fault.Rule{
+			{Op: fault.OpStore, Rank: 0, Nth: 2, Count: 1, Class: fault.Transient},
+			{Op: fault.OpStore, Rank: 2, Nth: 1, Count: 1, Class: fault.Transient},
+		}},
+		{"straggling-sends", 4, []fault.Rule{
+			{Op: fault.OpSend, Rank: 1, Nth: 2, Count: 3, Delay: 5 * time.Millisecond},
+			{Op: fault.OpRecv, Rank: 3, Nth: 1, Count: 1, Delay: 5 * time.Millisecond},
+		}},
+		{"mixed-weather", 5, []fault.Rule{
+			{Op: fault.OpLoad, Rank: 1, Nth: 1, Count: 1, Class: fault.Transient},
+			{Op: fault.OpStore, Rank: 0, Nth: 1, Count: 1, Class: fault.Transient},
+			{Op: fault.OpSend, Rank: 3, Nth: 1, Count: 1, Delay: 3 * time.Millisecond},
+		}},
+	}
+	for _, sched := range schedules {
+		t.Run(sched.name, func(t *testing.T) {
+			in := fault.NewInjector(sched.seed, sched.rules...)
+			sink, _ := NewVolumeSink(sys)
+			rep, err := RunDistributed(ClusterOptions{
+				Plan: p, Source: src, Output: sink,
+				FaultInjector:      in,
+				CollectiveDeadline: 5 * time.Second,
+				Retry: &fault.RetryPolicy{
+					MaxAttempts: 4,
+					BaseDelay:   200 * time.Microsecond,
+					MaxDelay:    2 * time.Millisecond,
+					Seed:        sched.seed,
+				},
+			})
+			if err != nil {
+				t.Fatalf("transient schedule must be absorbed, got %v", err)
+			}
+			if in.Fired() == 0 {
+				t.Fatal("schedule injected nothing — the matrix is not testing anything")
+			}
+			for r := 0; r < p.Ranks(); r++ {
+				if !rep.Completed[r] {
+					t.Fatalf("rank %d did not complete", r)
+				}
+			}
+			for i := range clean.V.Data {
+				if sink.V.Data[i] != clean.V.Data[i] {
+					t.Fatalf("voxel %d: faulted run %g != clean run %g (recovery not bit-identical)",
+						i, sink.V.Data[i], clean.V.Data[i])
+				}
+			}
+		})
+	}
+}
+
+// Permanent chaos matrix: a dead rank must surface as a typed error within
+// the collective deadline — never a hang, never a silent partial volume —
+// with the partial report identifying the survivors, and the world's
+// goroutines fully torn down.
+func TestChaosMatrixPermanent(t *testing.T) {
+	sys := testSystem()
+	st := sheppStack(t, sys)
+	src := &projection.MemorySource{Full: st}
+
+	p, err := NewPlan(sys, 1, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseGoroutines := runtime.NumGoroutine()
+
+	cases := []struct {
+		name     string
+		seed     int64
+		rules    []fault.Rule
+		wantLost bool // peers must observe mpi.ErrRankLost too
+	}{
+		{"rank3-loads-dead", 10, []fault.Rule{
+			{Op: fault.OpLoad, Rank: 3, Nth: 2, Count: fault.Every, Class: fault.Permanent},
+		}, true},
+		{"rank1-link-dead", 11, []fault.Rule{
+			{Op: fault.OpSend, Rank: 1, Nth: 3, Count: fault.Every, Class: fault.Permanent},
+		}, true},
+		{"leader-store-dead", 12, []fault.Rule{
+			{Op: fault.OpStore, Rank: 0, Nth: 2, Count: fault.Every, Class: fault.Permanent},
+		}, false},
+		{"rank2-recv-dead", 13, []fault.Rule{
+			{Op: fault.OpRecv, Rank: 2, Nth: 1, Count: fault.Every, Class: fault.Permanent},
+		}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := fault.NewInjector(tc.seed, tc.rules...)
+			sink, _ := NewVolumeSink(sys)
+			start := time.Now()
+			rep, err := RunDistributed(ClusterOptions{
+				Plan: p, Source: src, Output: sink,
+				FaultInjector:      in,
+				CollectiveDeadline: 250 * time.Millisecond,
+				// Retry configured on purpose: permanent faults must punch
+				// straight through it.
+				Retry: &fault.RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Microsecond, Seed: tc.seed},
+			})
+			elapsed := time.Since(start)
+			if err == nil {
+				t.Fatal("permanent fault produced a silently successful run")
+			}
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("error does not carry the injected fault: %v", err)
+			}
+			if tc.wantLost && !errors.Is(err, mpi.ErrRankLost) {
+				t.Fatalf("peers of the dead rank did not observe ErrRankLost: %v", err)
+			}
+			if elapsed > 10*time.Second {
+				t.Fatalf("teardown took %v with a 250ms collective deadline", elapsed)
+			}
+			if rep == nil {
+				t.Fatal("partial report missing alongside the error")
+			}
+			completed := 0
+			for _, done := range rep.Completed {
+				if done {
+					completed++
+				}
+			}
+			if completed == p.Ranks() {
+				t.Fatal("report claims all ranks completed despite the error")
+			}
+		})
+	}
+
+	// After every teardown in the matrix, the runtime must settle back to
+	// its pre-matrix goroutine count: nothing may leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseGoroutines+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked across the chaos matrix: %d now vs %d at start",
+		runtime.NumGoroutine(), baseGoroutines)
+}
+
+// Kill-and-resume, distributed: a run killed by a dead group leader leaves
+// a partial volume and a checkpoint journal on disk; reopening both and
+// re-running the same plan skips the journaled batches and produces a
+// final file byte-identical to an uninterrupted run's.
+func TestChaosKillAndResume(t *testing.T) {
+	sys := testSystem()
+	st := sheppStack(t, sys)
+	src := &projection.MemorySource{Full: st}
+	dir := t.TempDir()
+
+	p, err := NewPlan(sys, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uninterrupted reference file.
+	refPath := filepath.Join(dir, "ref.fbk")
+	refW, err := storage.NewSlabWriter(refPath, sys.NX, sys.NY, sys.NZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunDistributed(ClusterOptions{Plan: p, Source: src, Output: refW}); err != nil {
+		t.Fatal(err)
+	}
+	if err := refW.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 1: group 1's leader (world rank 2) dies permanently at its
+	// second store. Group 0 keeps journaling its own batches.
+	outPath := filepath.Join(dir, "vol.fbk")
+	journalPath := filepath.Join(dir, "vol.journal")
+	w, err := storage.NewSlabWriter(outPath, sys.NX, sys.NY, sys.NZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := storage.OpenJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fault.NewInjector(99,
+		fault.Rule{Op: fault.OpStore, Rank: 2, Nth: 2, Count: fault.Every, Class: fault.Permanent})
+	rep, err := RunDistributed(ClusterOptions{
+		Plan: p, Source: src, Output: w,
+		FaultInjector:      in,
+		CollectiveDeadline: 250 * time.Millisecond,
+		Checkpoint:         j,
+	})
+	if err == nil {
+		t.Fatal("the kill schedule did not kill the run")
+	}
+	if rep == nil || rep.Completed[2] {
+		t.Fatalf("rank 2 must not be reported complete: %+v", rep)
+	}
+	// Simulate the crash-consistent shutdown a real process gets for free
+	// from the OS: partial volume stays on disk, journal is closed as-is.
+	if err := w.ClosePartial(); err != nil {
+		t.Fatal(err)
+	}
+	recorded := j.Len()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	total := nonEmptyBatches(p)
+	if recorded == 0 || recorded >= total {
+		t.Fatalf("journal has %d of %d batches; the kill should land strictly between", recorded, total)
+	}
+	if _, err := os.Stat(outPath); !os.IsNotExist(err) {
+		t.Fatal("final output path must not exist after a killed run")
+	}
+
+	// Run 2: reopen journal and partial volume, replay the plan. Journaled
+	// batches are skipped; the rest are redone fault-free.
+	j2, err := storage.OpenJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != recorded {
+		t.Fatalf("journal lost entries across reopen: %d vs %d", j2.Len(), recorded)
+	}
+	w2, err := storage.ResumeSlabWriter(outPath, sys.NX, sys.NY, sys.NZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := RunDistributed(ClusterOptions{
+		Plan: p, Source: src, Output: w2,
+		CollectiveDeadline: 5 * time.Second,
+		Checkpoint:         j2,
+	})
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	executed := 0
+	for _, n := range rep2.BatchesDone {
+		executed += n
+	}
+	// Every rank skips its group's journaled batches; Nr ranks execute
+	// each remaining batch.
+	if want := (total - recorded) * p.NRanksPerGroup; executed != want {
+		t.Fatalf("resume executed %d rank-batches, want %d (skipping not effective)", executed, want)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Remove(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed volume is not byte-identical to the uninterrupted run")
+	}
+}
+
+// Kill-and-resume, single device: ReconstructSingle honours the same
+// retry + checkpoint contract as the distributed driver.
+func TestReconstructSingleRetryAndResume(t *testing.T) {
+	sys := testSystem()
+	st := sheppStack(t, sys)
+	src := &projection.MemorySource{Full: st}
+	dir := t.TempDir()
+
+	p, err := NewPlan(sys, 1, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	refPath := filepath.Join(dir, "ref.fbk")
+	refW, err := storage.NewSlabWriter(refPath, sys.NX, sys.NY, sys.NZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReconstructSingle(ReconOptions{
+		Plan: p, Source: src, Device: device.New("ref", 0, 2), Sink: refW,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := refW.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 1: flaky loads (absorbed by the retry policy) plus a permanent
+	// store failure at the fourth slab (the kill).
+	outPath := filepath.Join(dir, "vol.fbk")
+	journalPath := filepath.Join(dir, "vol.journal")
+	w, err := storage.NewSlabWriter(outPath, sys.NX, sys.NY, sys.NZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := storage.OpenJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fault.NewInjector(7,
+		fault.Rule{Op: fault.OpLoad, Rank: 0, Nth: 2, Count: 1, Class: fault.Transient},
+		fault.Rule{Op: fault.OpStore, Rank: 0, Nth: 4, Count: fault.Every, Class: fault.Permanent})
+	_, err = ReconstructSingle(ReconOptions{
+		Plan:   p,
+		Source: fault.Source(src, in, 0),
+		Device: device.New("chaos", 0, 2),
+		Sink:   fault.Sink(w, in, 0),
+		Retry:  &fault.RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Microsecond, Seed: 7},
+		Checkpoint: j,
+	})
+	if err == nil {
+		t.Fatal("permanent store fault did not abort the run")
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("abort is not the injected fault: %v", err)
+	}
+	if err := w.ClosePartial(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 3 {
+		t.Fatalf("journal has %d batches, want the 3 stored before the kill", j.Len())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 2: resume fault-free; only the missing batches run.
+	j2, err := storage.OpenJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := storage.ResumeSlabWriter(outPath, sys.NX, sys.NY, sys.NZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReconstructSingle(ReconOptions{
+		Plan: p, Source: src, Device: device.New("resume", 0, 2),
+		Sink: w2, Checkpoint: j2,
+	})
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if rep.Slabs != 3 {
+		t.Fatalf("resume processed %d slabs, want the 3 missing ones", rep.Slabs)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Remove(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, _ := os.ReadFile(outPath)
+	want, _ := os.ReadFile(refPath)
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed single-device volume is not byte-identical to the uninterrupted run")
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+// CheckpointLog records durably stored slabs and answers whether a
+// (group, batch) pair is already on disk. storage.Journal satisfies it;
+// core depends only on this interface so the reconstruction layer stays
+// free of I/O imports.
+//
+// Resume semantics: pass a log that already holds entries (a reopened
+// journal) and the plan replays skipping every recorded pair. Because
+// batches are independent, the reduction order is fixed, and slabs land
+// at fixed offsets, the resumed volume is bit-identical to one produced
+// by an uninterrupted run.
+type CheckpointLog interface {
+	Done(group, batch int) bool
+	Record(group, batch int) error
+}
+
+// skipBatch flows through the pipeline in place of a payload when the
+// checkpoint log says the batch's slab is already durably stored: every
+// stage passes it along untouched, so skipped batches neither load rows,
+// mutate the ring, nor store — and crucially never advance the
+// differential-load or ring-residency cursors, which track executed
+// batches only.
+type skipBatch struct{}
+
+// syncer is what a sink must additionally implement for checkpointing to
+// be crash-safe: the slab bytes are forced to stable storage before the
+// journal entry that declares them done.
+type syncer interface{ Sync() error }
+
+// syncSink flushes the sink if it knows how.
+func syncSink(s SlabSink) error {
+	if sy, ok := s.(syncer); ok {
+		return sy.Sync()
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 
 	"distfdk/internal/backproject"
 	"distfdk/internal/device"
+	"distfdk/internal/fault"
 	"distfdk/internal/filter"
 	"distfdk/internal/geometry"
 	"distfdk/internal/mpi"
@@ -47,6 +48,24 @@ type ClusterOptions struct {
 	ReduceChunk int
 	// Output receives reduced slabs from group leaders (required).
 	Output SlabSink
+	// Retry, when set, retries transient load and store failures with
+	// capped exponential backoff on the failing rank; permanent failures
+	// abort the rank (and with it the world). Nil means a single attempt.
+	Retry *fault.RetryPolicy
+	// FaultInjector, when set, deterministically injects faults into every
+	// rank's load, store, send and receive paths for chaos testing. Nil
+	// costs nothing on the happy path.
+	FaultInjector *fault.Injector
+	// CollectiveDeadline bounds how long a rank blocks in any
+	// point-to-point or collective operation before a lost peer surfaces
+	// as a typed mpi.ErrRankLost instead of a hang. Zero waits forever
+	// (world teardown still wakes blocked ranks when a peer errors out).
+	CollectiveDeadline time.Duration
+	// Checkpoint, when set, journals each (group, batch) slab after the
+	// group leader has durably stored it, and skips pairs the log already
+	// records — pass a reopened journal to resume a killed run. The
+	// resumed volume is bit-identical to an uninterrupted one.
+	Checkpoint CheckpointLog
 }
 
 // ClusterReport aggregates per-rank observations of a distributed run.
@@ -58,6 +77,14 @@ type ClusterReport struct {
 	// and group communicators.
 	WorldStats []mpi.Stats
 	GroupStats []mpi.Stats
+	// Completed marks ranks whose full batch loop finished. When
+	// RunDistributed returns an error the partial report still carries
+	// the survivors' ledgers and stats; a rank's other slots are only
+	// meaningful where Completed is true.
+	Completed []bool
+	// BatchesDone counts the batches each rank executed (checkpointed
+	// batches it skipped are not counted).
+	BatchesDone []int
 }
 
 // TotalReduceBytes sums the bytes every rank sent during segmented
@@ -83,6 +110,11 @@ func (r *ClusterReport) TotalH2DBytes() int64 {
 // MPI ranks as goroutines, grouped by Split (Section 4.4.1), each batch
 // ending in one segmented Reduce (Section 4.4.2) instead of the global
 // collectives of prior frameworks.
+//
+// On failure the world tears down deterministically — a lost rank surfaces
+// to its peers as a typed mpi.ErrRankLost within CollectiveDeadline rather
+// than a hang — and the partial ClusterReport is returned alongside the
+// error with the surviving ranks' observations filled in.
 func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 	p := opts.Plan
 	if p == nil || opts.Source == nil || opts.Output == nil {
@@ -101,15 +133,34 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 		workers = 1
 	}
 	report := &ClusterReport{
-		Ledgers:    make([]device.Ledger, p.Ranks()),
-		WorldStats: make([]mpi.Stats, p.Ranks()),
-		GroupStats: make([]mpi.Stats, p.Ranks()),
+		Ledgers:     make([]device.Ledger, p.Ranks()),
+		WorldStats:  make([]mpi.Stats, p.Ranks()),
+		GroupStats:  make([]mpi.Stats, p.Ranks()),
+		Completed:   make([]bool, p.Ranks()),
+		BatchesDone: make([]int, p.Ranks()),
+	}
+	// The assignment below must stay behind the pointer check: a typed-nil
+	// interface would defeat the runtime's nil fast path.
+	var icept mpi.Interceptor
+	if opts.FaultInjector != nil {
+		icept = opts.FaultInjector
 	}
 	start := time.Now()
-	err := mpi.Run(p.Ranks(), func(world *mpi.Comm) error {
+	err := mpi.RunWith(p.Ranks(), mpi.Options{
+		Deadline:    opts.CollectiveDeadline,
+		Interceptor: icept,
+	}, func(world *mpi.Comm) error {
 		rank := world.Rank()
 		g := p.GroupOf(rank)
 		r := p.RankInGroup(rank)
+		src := opts.Source
+		if opts.FaultInjector != nil {
+			src = fault.Source(opts.Source, opts.FaultInjector, rank)
+		}
+		var sink SlabSink = opts.Output
+		if opts.FaultInjector != nil {
+			sink = fault.Sink(opts.Output, opts.FaultInjector, rank)
+		}
 		group, err := world.Split(g, rank)
 		if err != nil {
 			return err
@@ -141,6 +192,15 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 			if nz == 0 {
 				continue // consistent across the whole group
 			}
+			// A checkpointed batch is skipped by the whole group: Done(g, c)
+			// reads the same pre-run journal state on every rank, and the
+			// leader only records a batch after its group has passed it, so
+			// the collectives below always pair up. `prev` deliberately
+			// tracks executed batches only — DifferentialRows then reloads
+			// whatever a skipped batch would have left resident.
+			if opts.Checkpoint != nil && opts.Checkpoint.Done(g, c) {
+				continue
+			}
 			rows := p.SlabRows(g, c)
 			diff := geometry.DifferentialRows(prev, rows)
 			if !prev.IsEmpty() && rows.Lo >= prev.Hi {
@@ -149,9 +209,14 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 				ring.Release(rows.Lo)
 			}
 			if !diff.IsEmpty() {
-				st, err := opts.Source.LoadRows(diff, pLo, pHi)
-				if err != nil {
-					return fmt.Errorf("rank %d batch %d load: %w", rank, c, err)
+				var st *projection.Stack
+				lerr := opts.Retry.Do(func() error {
+					var e error
+					st, e = src.LoadRows(diff, pLo, pHi)
+					return e
+				})
+				if lerr != nil {
+					return fmt.Errorf("rank %d batch %d load: %w", rank, c, lerr)
 				}
 				if err := applyParker(parker, st); err != nil {
 					return fmt.Errorf("rank %d batch %d parker: %w", rank, c, err)
@@ -194,19 +259,34 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 				return fmt.Errorf("rank %d batch %d reduce: %w", rank, c, err)
 			}
 			if group.Rank() == 0 {
-				if err := opts.Output.WriteSlab(slab); err != nil {
+				// Fixed slab offsets make a retried store idempotent.
+				if err := opts.Retry.Do(func() error { return sink.WriteSlab(slab) }); err != nil {
 					return fmt.Errorf("rank %d batch %d store: %w", rank, c, err)
 				}
+				if opts.Checkpoint != nil {
+					// Data before journal: the slab must be durable before
+					// the entry that declares it done.
+					if err := syncSink(opts.Output); err != nil {
+						return fmt.Errorf("rank %d batch %d sync: %w", rank, c, err)
+					}
+					if err := opts.Checkpoint.Record(g, c); err != nil {
+						return fmt.Errorf("rank %d batch %d checkpoint: %w", rank, c, err)
+					}
+				}
 			}
+			report.BatchesDone[rank]++
 		}
 		report.Ledgers[rank] = dev.Snapshot()
 		report.WorldStats[rank] = world.Stats()
 		report.GroupStats[rank] = group.Stats()
+		report.Completed[rank] = true
 		return nil
 	})
 	report.Elapsed = time.Since(start)
 	if err != nil {
-		return nil, err
+		// Partial report: ledgers and stats are populated only for ranks
+		// that completed; BatchesDone still shows how far each rank got.
+		return report, err
 	}
 	return report, nil
 }

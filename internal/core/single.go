@@ -7,6 +7,7 @@ import (
 
 	"distfdk/internal/backproject"
 	"distfdk/internal/device"
+	"distfdk/internal/fault"
 	"distfdk/internal/filter"
 	"distfdk/internal/geometry"
 	"distfdk/internal/pipeline"
@@ -105,6 +106,15 @@ type ReconOptions struct {
 	Tracer *pipeline.Tracer
 	// DisablePipeline runs the stages serially (for ablation only).
 	DisablePipeline bool
+	// Retry, when set, retries transient load and store failures with
+	// capped exponential backoff; permanent failures abort immediately.
+	// Nil means a single attempt.
+	Retry *fault.RetryPolicy
+	// Checkpoint, when set, journals every stored slab (as group 0) and
+	// skips batches the log already records — pass a reopened journal to
+	// resume a killed run from its last durable batch. The resumed volume
+	// is bit-identical to an uninterrupted one.
+	Checkpoint CheckpointLog
 }
 
 // slabRowsMonotone reports whether consecutive non-empty batches of group g
@@ -211,6 +221,9 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 	var prevResident geometry.RowRange
 
 	loadStage := func(c int, _ any) (any, error) {
+		if opts.Checkpoint != nil && opts.Checkpoint.Done(0, c) {
+			return skipBatch{}, nil
+		}
 		rows := p.SlabRows(0, c)
 		if rows.IsEmpty() {
 			return nil, nil
@@ -220,7 +233,16 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 		if diff.IsEmpty() {
 			return (*projection.Stack)(nil), nil
 		}
-		return opts.Source.LoadRows(diff, 0, p.Sys.NP)
+		var st *projection.Stack
+		err := opts.Retry.Do(func() error {
+			var lerr error
+			st, lerr = opts.Source.LoadRows(diff, 0, p.Sys.NP)
+			return lerr
+		})
+		if err != nil {
+			return nil, err
+		}
+		return st, nil
 	}
 	filterStage := func(c int, in any) (any, error) {
 		st, _ := in.(*projection.Stack)
@@ -235,6 +257,9 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 		return st, err
 	}
 	bpStage := func(c int, in any) (any, error) {
+		if _, ok := in.(skipBatch); ok {
+			return in, nil // checkpointed batch: leave ring and cursors alone
+		}
 		_, nz := p.SlabZ(0, c)
 		if nz == 0 {
 			return nil, nil
@@ -268,6 +293,9 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 	// no batch still back-projecting can touch; the back-project stage then
 	// only reads the ring and can run its batches concurrently.
 	uploadStage := func(c int, in any) (any, error) {
+		if _, ok := in.(skipBatch); ok {
+			return in, nil // checkpointed batch: leave the ring alone
+		}
 		rows := p.SlabRows(0, c)
 		if rows.IsEmpty() {
 			return nil, nil
@@ -307,7 +335,19 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 			return nil, nil
 		}
 		slabs++
-		return nil, opts.Sink.WriteSlab(slab)
+		// Slab offsets are fixed, so a retried store is idempotent.
+		if err := opts.Retry.Do(func() error { return opts.Sink.WriteSlab(slab) }); err != nil {
+			return nil, err
+		}
+		if opts.Checkpoint != nil {
+			// Data before journal: force the slab to stable storage, then
+			// record it done — never the other way round.
+			if err := syncSink(opts.Sink); err != nil {
+				return nil, err
+			}
+			return nil, opts.Checkpoint.Record(0, c)
+		}
+		return nil, nil
 	}
 
 	if opts.DisablePipeline {

@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy retries transiently-failing operations with capped
+// exponential backoff and seeded jitter. The reconstruction drivers apply
+// it to the two edges that touch shared infrastructure — projection loads
+// and slab stores — where a parallel filesystem under 1,024 concurrent
+// clients fails transiently as a matter of course. Permanent and
+// unclassified errors (see IsTransient) pass through on the first attempt;
+// retrying those would only hide bugs.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (0 or less means DefaultRetryAttempts).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// retry (0 means DefaultRetryBase).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (0 means DefaultRetryCap).
+	MaxDelay time.Duration
+	// Seed drives the jitter deterministically: the same policy retrying
+	// the same operation sequence sleeps the same schedule, keeping chaos
+	// runs reproducible. Derive per-rank seeds (Seed+rank) to decorrelate
+	// ranks.
+	Seed int64
+}
+
+// Defaults for the zero-valued RetryPolicy fields.
+const (
+	DefaultRetryAttempts = 4
+	DefaultRetryBase     = time.Millisecond
+	DefaultRetryCap      = 250 * time.Millisecond
+)
+
+// attempts/base/cap return the effective (defaulted) parameters.
+func (p *RetryPolicy) attempts() int {
+	if p == nil || p.MaxAttempts <= 0 {
+		return DefaultRetryAttempts
+	}
+	return p.MaxAttempts
+}
+
+func (p *RetryPolicy) base() time.Duration {
+	if p == nil || p.BaseDelay <= 0 {
+		return DefaultRetryBase
+	}
+	return p.BaseDelay
+}
+
+func (p *RetryPolicy) cap() time.Duration {
+	if p == nil || p.MaxDelay <= 0 {
+		return DefaultRetryCap
+	}
+	return p.MaxDelay
+}
+
+// Do runs op, retrying while it fails transiently. A nil policy runs op
+// exactly once, so call sites pay nothing when retries are not configured.
+// The returned error is the last attempt's, wrapped with the attempt count
+// when retries were exhausted; its classification chain is preserved.
+func (p *RetryPolicy) Do(op func() error) error {
+	if p == nil {
+		return op()
+	}
+	max := p.attempts()
+	var rng *rand.Rand // created lazily: only failing calls pay for it
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = op(); err == nil || !IsTransient(err) {
+			return err
+		}
+		if attempt >= max {
+			return fmt.Errorf("fault: giving up after %d attempts: %w", max, err)
+		}
+		if rng == nil {
+			rng = rand.New(rand.NewSource(p.Seed))
+		}
+		time.Sleep(p.backoff(attempt, rng))
+	}
+}
+
+// backoff returns the sleep before attempt+1: BaseDelay·2^(attempt−1)
+// capped at MaxDelay, then jittered to [d/2, d] so synchronized failures
+// across ranks do not retry in lockstep against the same filesystem.
+func (p *RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
+	d := p.base()
+	cap := p.cap()
+	for i := 1; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	half := d / 2
+	if half > 0 {
+		d = half + time.Duration(rng.Int63n(int64(half)+1))
+	}
+	return d
+}

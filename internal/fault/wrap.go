@@ -1,0 +1,65 @@
+package fault
+
+import (
+	"distfdk/internal/geometry"
+	"distfdk/internal/projection"
+	"distfdk/internal/volume"
+)
+
+// SlabSink mirrors core.SlabSink (declared here to keep this package below
+// core in the dependency order); any sink satisfying one satisfies the
+// other.
+type SlabSink interface {
+	WriteSlab(*volume.Volume) error
+}
+
+// Source wraps src so every LoadRows first passes through the injector as
+// an OpLoad occurrence on the given rank. The happy path adds one counter
+// increment per batch-granularity load — nothing on the per-sample loops.
+func Source(src projection.Source, in *Injector, rank int) projection.Source {
+	return &faultedSource{src: src, in: in, rank: rank}
+}
+
+type faultedSource struct {
+	src  projection.Source
+	in   *Injector
+	rank int
+}
+
+func (s *faultedSource) Dims() (int, int, int) { return s.src.Dims() }
+
+func (s *faultedSource) LoadRows(rows geometry.RowRange, pLo, pHi int) (*projection.Stack, error) {
+	if err := s.in.Hit(OpLoad, s.rank); err != nil {
+		return nil, err
+	}
+	return s.src.LoadRows(rows, pLo, pHi)
+}
+
+// Sink wraps sink so every WriteSlab first passes through the injector as
+// an OpStore occurrence on the given rank.
+func Sink(sink SlabSink, in *Injector, rank int) SlabSink {
+	return &faultedSink{sink: sink, in: in, rank: rank}
+}
+
+type faultedSink struct {
+	sink SlabSink
+	in   *Injector
+	rank int
+}
+
+func (s *faultedSink) WriteSlab(slab *volume.Volume) error {
+	if err := s.in.Hit(OpStore, s.rank); err != nil {
+		return err
+	}
+	return s.sink.WriteSlab(slab)
+}
+
+// Sync forwards to the wrapped sink so checkpointing drivers, which flush
+// the sink before journaling a batch, stay crash-safe when the sink they
+// were handed is fault-wrapped.
+func (s *faultedSink) Sync() error {
+	if sy, ok := s.sink.(interface{ Sync() error }); ok {
+		return sy.Sync()
+	}
+	return nil
+}

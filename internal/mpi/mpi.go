@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // message is one point-to-point transfer.
@@ -38,24 +39,86 @@ type Stats struct {
 }
 
 // Comm is a communicator endpoint bound to one rank, analogous to an
-// MPI_Comm plus the owning rank's identity.
+// MPI_Comm plus the owning rank's identity. The deadline and interceptor
+// are per-endpoint settings inherited by communicators Split from this
+// one.
 type Comm struct {
 	rank, size int
 	group      *group
 	stats      *Stats
+	deadline   time.Duration
+	icept      Interceptor
 }
 
-// group is the shared state of a communicator: the channel matrix and the
-// split-coordination state.
+// group is the shared state of a communicator: the channel matrix, the
+// split-coordination state, and the world-wide teardown signal shared with
+// every communicator split from the same Run.
 type group struct {
 	size  int
 	chans [][]chan message // chans[dst][src]
 	stats []*Stats
+	td    *teardown
 
 	splitMu      sync.Mutex
 	splitPending map[int]*splitGather // keyed by split sequence number
 	splitSeq     []int                // per-rank split call count
 }
+
+// teardown is the world-level abort signal: Run trips it when any rank's
+// function returns an error, waking every blocked point-to-point operation
+// (on the world communicator and every Split descendant) with ErrRankLost
+// instead of leaving them deadlocked on a rank that will never speak
+// again. The signal fires once and only ever closes — late observers see
+// the same torn-down world.
+type teardown struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+func newTeardown() *teardown { return &teardown{ch: make(chan struct{})} }
+
+func (t *teardown) trip() { t.once.Do(func() { close(t.ch) }) }
+
+// Interceptor observes the point-to-point path before the channel
+// operation runs. internal/fault implements it to inject message-layer
+// faults and stalls; a nil interceptor costs one pointer check per
+// operation. Returning a non-nil error aborts the operation before any
+// data moves, so communicator state stays consistent.
+type Interceptor interface {
+	BeforeSend(rank, dst, tag int) error
+	BeforeRecv(rank, src, tag int) error
+}
+
+// ErrRankLost is the sentinel (matched via errors.Is) for any failure
+// caused by a dead or unreachable peer: a point-to-point deadline expiring
+// or the world tearing down mid-operation. Collectives surface it instead
+// of hanging, which is what lets a 1,024-rank run observe a node loss as a
+// typed error within one deadline rather than as a stuck job.
+var ErrRankLost = errors.New("mpi: rank lost")
+
+// RankLostError carries the coordinates of a lost-rank observation.
+type RankLostError struct {
+	Rank int           // the rank that observed the loss
+	Peer int           // the peer it was exchanging with
+	Op   string        // "send" or "recv"
+	Wait time.Duration // deadline that expired; 0 when the world tore down
+}
+
+func (e *RankLostError) Error() string {
+	peer := fmt.Sprintf("rank %d", e.Peer)
+	if e.Peer < 0 {
+		peer = "the collective"
+	}
+	if e.Wait > 0 {
+		return fmt.Sprintf("mpi: rank %d: %s with %s timed out after %v (rank lost)",
+			e.Rank, e.Op, peer, e.Wait)
+	}
+	return fmt.Sprintf("mpi: rank %d: %s with %s aborted by world teardown (rank lost)",
+		e.Rank, e.Op, peer)
+}
+
+// Is makes errors.Is(err, ErrRankLost) match.
+func (e *RankLostError) Is(target error) bool { return target == ErrRankLost }
 
 type splitGather struct {
 	entries map[int][2]int // rank -> (color, key)
@@ -66,7 +129,7 @@ type splitGather struct {
 const chanBuffer = 8
 
 func newGroup(size int) *group {
-	g := &group{size: size, splitPending: map[int]*splitGather{}, splitSeq: make([]int, size)}
+	g := &group{size: size, td: newTeardown(), splitPending: map[int]*splitGather{}, splitSeq: make([]int, size)}
 	g.chans = make([][]chan message, size)
 	g.stats = make([]*Stats, size)
 	for d := 0; d < size; d++ {
@@ -83,11 +146,37 @@ func (g *group) comm(rank int) *Comm {
 	return &Comm{rank: rank, size: g.size, group: g, stats: g.stats[rank]}
 }
 
+// Options configures a world launched by RunWith.
+type Options struct {
+	// Deadline bounds every blocking point-to-point operation — and hence
+	// every step of every collective — on the world communicator and its
+	// Split descendants. A peer that does not produce (or consume) a
+	// message within the deadline surfaces as ErrRankLost instead of a
+	// hang. 0 waits forever (the classic MPI behaviour).
+	Deadline time.Duration
+	// Interceptor, when non-nil, observes every send/recv before the
+	// channel operation (fault injection).
+	Interceptor Interceptor
+}
+
 // Run launches fn on n ranks of a fresh world communicator and waits for
 // all of them, joining any errors (MPI_Init/Finalize equivalent).
 func Run(n int, fn func(c *Comm) error) error {
+	return RunWith(n, Options{}, fn)
+}
+
+// RunWith is Run with a configured world. Whatever the options, the world
+// tears down cleanly: the first rank whose function returns an error (or
+// panics) trips a world-wide teardown that wakes every rank blocked in a
+// point-to-point operation or Split with ErrRankLost, so one dead rank can
+// never deadlock the rest — every rank returns and RunWith joins their
+// errors within a bounded number of in-flight operations.
+func RunWith(n int, opt Options, fn func(c *Comm) error) error {
 	if n <= 0 {
 		return fmt.Errorf("mpi: world size %d must be positive", n)
+	}
+	if opt.Deadline < 0 {
+		return fmt.Errorf("mpi: negative deadline %v", opt.Deadline)
 	}
 	g := newGroup(n)
 	errs := make([]error, n)
@@ -100,8 +189,14 @@ func Run(n int, fn func(c *Comm) error) error {
 				if p := recover(); p != nil {
 					errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, p)
 				}
+				if errs[r] != nil {
+					g.td.trip()
+				}
 			}()
-			errs[r] = fn(g.comm(r))
+			c := g.comm(r)
+			c.deadline = opt.Deadline
+			c.icept = opt.Interceptor
+			errs[r] = fn(c)
 		}(r)
 	}
 	wg.Wait()
@@ -149,9 +244,14 @@ func payloadBytes(data any) (int64, bool) {
 	}
 }
 
+// SetDeadline overrides this endpoint's point-to-point deadline (see
+// Options.Deadline); Split-derived communicators inherit it.
+func (c *Comm) SetDeadline(d time.Duration) { c.deadline = d }
+
 // Send delivers data to rank dst with the given tag. Sends are buffered;
 // a full buffer blocks until the receiver drains it, like MPI_Send's
-// rendezvous mode.
+// rendezvous mode. A blocked send wakes with ErrRankLost when the world
+// tears down or the endpoint's deadline expires.
 func (c *Comm) Send(dst, tag int, data any) error {
 	if dst < 0 || dst >= c.size {
 		return fmt.Errorf("mpi: send to rank %d outside world of %d", dst, c.size)
@@ -159,7 +259,20 @@ func (c *Comm) Send(dst, tag int, data any) error {
 	if dst == c.rank {
 		return fmt.Errorf("mpi: rank %d sending to itself", c.rank)
 	}
-	c.group.chans[dst][c.rank] <- message{tag: tag, data: data}
+	if c.icept != nil {
+		if err := c.icept.BeforeSend(c.rank, dst, tag); err != nil {
+			return err
+		}
+	}
+	m := message{tag: tag, data: data}
+	ch := c.group.chans[dst][c.rank]
+	select {
+	case ch <- m: // fast path: buffer has room
+	default:
+		if err := c.sendSlow(ch, m, dst); err != nil {
+			return err
+		}
+	}
 	nb, known := payloadBytes(data)
 	c.stats.BytesSent += nb
 	if !known {
@@ -169,8 +282,42 @@ func (c *Comm) Send(dst, tag int, data any) error {
 	return nil
 }
 
+// sendSlow blocks on a full buffer, watching the teardown signal and the
+// deadline.
+func (c *Comm) sendSlow(ch chan<- message, m message, dst int) error {
+	var timeout <-chan time.Time
+	if c.deadline > 0 {
+		t := time.NewTimer(c.deadline)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case ch <- m:
+		return nil
+	case <-c.group.td.ch:
+		// The world is tearing down; one last non-blocking attempt keeps
+		// the common "receiver drained just before dying" case lossless.
+		select {
+		case ch <- m:
+			return nil
+		default:
+			return &RankLostError{Rank: c.rank, Peer: dst, Op: "send"}
+		}
+	case <-timeout:
+		select {
+		case ch <- m:
+			return nil
+		default:
+			return &RankLostError{Rank: c.rank, Peer: dst, Op: "send", Wait: c.deadline}
+		}
+	}
+}
+
 // Recv blocks for the next message from rank src and verifies its tag,
-// catching protocol mismatches immediately instead of corrupting data.
+// catching protocol mismatches immediately instead of corrupting data. A
+// blocked receive wakes with ErrRankLost when the world tears down or the
+// endpoint's deadline expires — a dead or stalled peer surfaces as a typed
+// error, never a hang.
 func (c *Comm) Recv(src, tag int) (any, error) {
 	if src < 0 || src >= c.size {
 		return nil, fmt.Errorf("mpi: recv from rank %d outside world of %d", src, c.size)
@@ -178,7 +325,21 @@ func (c *Comm) Recv(src, tag int) (any, error) {
 	if src == c.rank {
 		return nil, fmt.Errorf("mpi: rank %d receiving from itself", c.rank)
 	}
-	m := <-c.group.chans[c.rank][src]
+	if c.icept != nil {
+		if err := c.icept.BeforeRecv(c.rank, src, tag); err != nil {
+			return nil, err
+		}
+	}
+	ch := c.group.chans[c.rank][src]
+	var m message
+	select {
+	case m = <-ch: // fast path: message already buffered
+	default:
+		var err error
+		if m, err = c.recvSlow(ch, src); err != nil {
+			return nil, err
+		}
+	}
 	if m.tag != tag {
 		return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag)
 	}
@@ -189,6 +350,36 @@ func (c *Comm) Recv(src, tag int) (any, error) {
 	}
 	c.stats.MessagesRecv++
 	return m.data, nil
+}
+
+// recvSlow blocks for a message, watching the teardown signal and the
+// deadline. On either firing it makes one final non-blocking attempt so a
+// message that raced in is still delivered rather than dropped.
+func (c *Comm) recvSlow(ch <-chan message, src int) (message, error) {
+	var timeout <-chan time.Time
+	if c.deadline > 0 {
+		t := time.NewTimer(c.deadline)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case m := <-ch:
+		return m, nil
+	case <-c.group.td.ch:
+		select {
+		case m := <-ch:
+			return m, nil
+		default:
+			return message{}, &RankLostError{Rank: c.rank, Peer: src, Op: "recv"}
+		}
+	case <-timeout:
+		select {
+		case m := <-ch:
+			return m, nil
+		default:
+			return message{}, &RankLostError{Rank: c.rank, Peer: src, Op: "recv", Wait: c.deadline}
+		}
+	}
 }
 
 // RecvFloat32 receives and type-asserts a []float32 payload.

@@ -32,19 +32,36 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	}
 	gather.entries[c.rank] = [2]int{color, key}
 	if len(gather.entries) == g.size {
-		buildSplit(gather)
+		buildSplit(g, gather)
 		delete(g.splitPending, seq)
 		close(gather.done)
 	}
 	g.splitMu.Unlock()
 
-	<-gather.done
-	return gather.result[c.rank], nil
+	// A rank that dies before entering the collective would leave everyone
+	// else waiting forever; the world teardown wakes them with a typed
+	// loss instead.
+	select {
+	case <-gather.done:
+	case <-g.td.ch:
+		select {
+		case <-gather.done:
+		default:
+			return nil, &RankLostError{Rank: c.rank, Peer: -1, Op: "split"}
+		}
+	}
+	sub := gather.result[c.rank]
+	// The sub-communicator endpoint inherits this endpoint's settings.
+	sub.deadline = c.deadline
+	sub.icept = c.icept
+	return sub, nil
 }
 
 // buildSplit materialises the sub-communicators once all ranks have
-// deposited their (color, key).
-func buildSplit(gather *splitGather) {
+// deposited their (color, key). Sub-groups share the parent's teardown
+// signal so a world-level abort wakes operations on every descendant
+// communicator.
+func buildSplit(parent *group, gather *splitGather) {
 	byColor := map[int][]int{} // color -> parent ranks
 	for rank, ck := range gather.entries {
 		byColor[ck[0]] = append(byColor[ck[0]], rank)
@@ -59,6 +76,7 @@ func buildSplit(gather *splitGather) {
 			return ranks[i] < ranks[j]
 		})
 		sub := newGroup(len(ranks))
+		sub.td = parent.td
 		for newRank, parentRank := range ranks {
 			gather.result[parentRank] = sub.comm(newRank)
 		}

@@ -129,6 +129,67 @@ func TestElasticErrorDrainsAndEmitsPrefix(t *testing.T) {
 	}
 }
 
+// Credit return under failure: when an elastic stage fails early in a run
+// far longer than its in-flight bound, the emitter must keep retiring
+// sequence numbers and returning dispatch credits while the stage drains —
+// otherwise the dispatcher runs out of credits ~bound batches after the
+// failure and the whole pipeline deadlocks with upstream stuck mid-run.
+// Upstream liveness (all batches generated) is the observable proof that
+// every credit came back; the store stage must still see only the clean
+// contiguous prefix from before the failure.
+func TestElasticErrorReturnsCreditsAndKeepsUpstreamLive(t *testing.T) {
+	const workers = 4
+	const nBatches = 100 // ≫ InFlightBound(QueueDepth, workers)
+	var generated atomic.Int64
+	var stored []int
+	var mu sync.Mutex
+	p, _ := New(
+		Stage{Name: "gen", Fn: func(b int, _ any) (any, error) {
+			generated.Add(1)
+			return b, nil
+		}},
+		Stage{Name: "bp", Workers: workers, Fn: func(b int, in any) (any, error) {
+			if b == 3 {
+				return nil, errors.New("worker died")
+			}
+			return in, nil
+		}},
+		Stage{Name: "store", Fn: func(b int, in any) (any, error) {
+			mu.Lock()
+			stored = append(stored, b)
+			mu.Unlock()
+			return nil, nil
+		}},
+	)
+	if bound := InFlightBound(p.QueueDepth, workers); nBatches <= 2*bound {
+		t.Fatalf("test needs nBatches ≫ bound (%d), got %d", bound, nBatches)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Run(nBatches) }()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pipeline deadlocked after elastic-stage failure: credits not returned")
+	}
+	if err == nil || !strings.Contains(err.Error(), "worker died") {
+		t.Fatalf("expected the stage error, got %v", err)
+	}
+	if got := generated.Load(); got != nBatches {
+		t.Fatalf("upstream generated %d of %d batches: dispatch starved during drain", got, nBatches)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(stored) > 3 {
+		t.Fatalf("store received %d batches, failure was at batch 3", len(stored))
+	}
+	for i, b := range stored {
+		if b != i {
+			t.Fatalf("store saw non-contiguous prefix %v", stored)
+		}
+	}
+}
+
 // The elastic machinery must not run more than Workers stage functions at
 // once.
 func TestElasticConcurrencyBounded(t *testing.T) {

@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Journal is the crash-safe checkpoint log of a reconstruction: one
+// appended, fsynced line per (group, batch) slab the group leader has
+// durably stored. It lives next to the partial output volume; a killed run
+// reopens it and resumes the plan skipping every journaled pair, which —
+// because batches are independent and the reduction order is fixed —
+// yields a volume bit-identical to an uninterrupted run.
+//
+// The format is line-oriented text (`slab <group> <batch>\n`), written
+// with a single write syscall and fsynced before Record returns, so an
+// entry is either durably complete or absent. A crash mid-append can leave
+// one torn trailing line; Open detects it, truncates it away and carries
+// on — the slab it described is simply redone, which is idempotent because
+// slabs write to fixed offsets.
+type Journal struct {
+	f    *os.File
+	path string
+
+	mu   sync.Mutex
+	done map[[2]int]struct{}
+}
+
+// OpenJournal opens (or creates) the checkpoint journal at path, replaying
+// any complete entries and repairing a torn tail.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, path: path, done: map[[2]int]struct{}{}}
+	if err := j.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// replay loads the completed set and truncates a torn trailing entry so
+// subsequent appends start on a clean line boundary.
+func (j *Journal) replay() error {
+	info, err := j.f.Stat()
+	if err != nil {
+		return err
+	}
+	r := bufio.NewReader(j.f)
+	var valid int64 // bytes covered by complete, parseable lines
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			// No trailing newline: a torn append; drop it.
+			break
+		}
+		var g, c int
+		if _, perr := fmt.Sscanf(strings.TrimSpace(line), "slab %d %d", &g, &c); perr != nil {
+			// A complete but unparseable line means the file is not a
+			// journal — refuse rather than silently resuming from garbage.
+			return fmt.Errorf("storage: journal %s: bad entry %q", j.path, strings.TrimSpace(line))
+		}
+		j.done[[2]int{g, c}] = struct{}{}
+		valid += int64(len(line))
+	}
+	if valid < info.Size() {
+		if err := j.f.Truncate(valid); err != nil {
+			return fmt.Errorf("storage: journal %s: repair torn tail: %w", j.path, err)
+		}
+	}
+	if _, err := j.f.Seek(valid, 0); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Done reports whether the (group, batch) slab is journaled as stored.
+func (j *Journal) Done(group, batch int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.done[[2]int{group, batch}]
+	return ok
+}
+
+// Len returns the number of journaled slabs.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Record durably journals the (group, batch) slab: one write, one fsync.
+// Recording an already-journaled pair is a no-op, so retried stores stay
+// idempotent. Callers must persist the slab data itself (WriteSlab +
+// Sync) before recording, or a crash between the two could journal a slab
+// whose bytes never reached disk.
+func (j *Journal) Record(group, batch int) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.done[[2]int{group, batch}]; ok {
+		return nil
+	}
+	if _, err := fmt.Fprintf(j.f, "slab %d %d\n", group, batch); err != nil {
+		return fmt.Errorf("storage: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("storage: journal sync: %w", err)
+	}
+	j.done[[2]int{group, batch}] = struct{}{}
+	return nil
+}
+
+// Close releases the journal file; the entries stay on disk for resume.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// Remove deletes the journal from disk — called after the output volume
+// has been promoted to its final path, when there is nothing left to
+// resume.
+func (j *Journal) Remove() error {
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Remove(j.path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distfdk/internal/volume"
+)
+
+func TestJournalRecordAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "recon.journal")
+
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]int{{0, 0}, {0, 1}, {1, 0}, {3, 7}}
+	for _, p := range pairs {
+		if err := j.Record(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Idempotent re-record must not duplicate entries.
+	if err := j.Record(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != len(pairs) {
+		t.Fatalf("Len = %d, want %d", j.Len(), len(pairs))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	for _, p := range pairs {
+		if !j2.Done(p[0], p[1]) {
+			t.Fatalf("(%d,%d) lost across reopen", p[0], p[1])
+		}
+	}
+	if j2.Done(9, 9) {
+		t.Fatal("phantom entry after reopen")
+	}
+	// Appends after a reopen must still land on clean line boundaries.
+	if err := j2.Record(5, 5); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if !j3.Done(5, 5) || j3.Len() != len(pairs)+1 {
+		t.Fatalf("post-reopen append lost: Len=%d", j3.Len())
+	}
+}
+
+// A crash mid-append leaves a torn trailing line; reopening must drop
+// exactly that line, keep the complete prefix, and leave the file ready
+// for clean appends.
+func TestJournalTornTailRepair(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "recon.journal")
+
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("slab 2 "); err != nil { // torn: no newline
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail must repair, not fail: %v", err)
+	}
+	if j2.Len() != 2 || !j2.Done(0, 0) || !j2.Done(0, 1) {
+		t.Fatalf("complete prefix lost: Len=%d", j2.Len())
+	}
+	if j2.Done(2, 0) {
+		t.Fatal("torn entry must not count as done")
+	}
+	if err := j2.Record(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Len() != 3 || !j3.Done(2, 0) {
+		t.Fatalf("append after repair corrupted the journal: Len=%d", j3.Len())
+	}
+}
+
+// A complete line that is not a journal entry means the file is something
+// else entirely — refuse rather than resume from garbage.
+func TestJournalRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "notes.txt")
+	if err := os.WriteFile(path, []byte("hello world\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); err == nil {
+		t.Fatal("expected bad-entry error for a non-journal file")
+	}
+}
+
+func TestJournalRemove(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "recon.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("journal still on disk: %v", err)
+	}
+}
+
+// WriteStack must never leave a readable-but-truncated container at the
+// destination: the temp file carries the bytes until the atomic rename.
+func TestWriteStackIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "proj.fbp")
+	if err := WriteStack(path, makeStack(3, 2, 4, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	src, err := OpenStack(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Close()
+}
+
+func TestOpenStackRejectsCorruptHeader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "proj.fbp")
+	if err := WriteStack(path, makeStack(3, 2, 4, 12)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncated samples: size no longer matches the header.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := filepath.Join(dir, "short.fbp")
+	if err := os.WriteFile(short, data[:len(data)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStack(short); err == nil {
+		t.Fatal("expected size-mismatch error for a truncated stack")
+	}
+
+	// Non-positive dimension in the header.
+	bad := make([]byte, len(data))
+	copy(bad, data)
+	bad[4], bad[5], bad[6], bad[7] = 0, 0, 0, 0 // nu = 0
+	zero := filepath.Join(dir, "zero.fbp")
+	if err := os.WriteFile(zero, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStack(zero); err == nil {
+		t.Fatal("expected non-positive-dims error")
+	}
+}
+
+// The slab writer's crash-consistency contract: no final file until
+// Close, ClosePartial keeps the partial, ResumeSlabWriter picks it up and
+// the finished volume matches an uninterrupted run byte for byte.
+func TestSlabWriterPartialAndResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vol.fbk")
+
+	writeSlab := func(w *SlabWriter, z0 int) {
+		t.Helper()
+		slab, _ := volume.NewSlab(4, 3, 4, z0)
+		for i := range slab.Data {
+			slab.Data[i] = float32(z0*1000 + i)
+		}
+		if err := w.WriteSlab(slab); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	w, err := NewSlabWriter(path, 4, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSlab(w, 0)
+	writeSlab(w, 8)
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("final path exists before Close: %v", err)
+	}
+	if err := w.ClosePartial(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("ClosePartial must not promote the file")
+	}
+	if _, err := os.Stat(path + PartialSuffix); err != nil {
+		t.Fatalf("partial file missing: %v", err)
+	}
+
+	// Resume with wrong dims must refuse.
+	if _, err := ResumeSlabWriter(path, 4, 3, 10); err == nil {
+		t.Fatal("expected dim-mismatch error on resume")
+	}
+
+	w2, err := ResumeSlabWriter(path, 4, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSlab(w2, 4)
+	if err := w2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + PartialSuffix); !os.IsNotExist(err) {
+		t.Fatal("partial file left behind after promote")
+	}
+
+	got, err := volume.LoadRaw(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, z0 := range []int{0, 4, 8} {
+		for i := 0; i < 4*3*4; i++ {
+			want := float32(z0*1000 + i)
+			if got.Data[z0*4*3+i] != want {
+				t.Fatalf("slab z0=%d sample %d = %g, want %g", z0, i, got.Data[z0*4*3+i], want)
+			}
+		}
+	}
+}
+
+// Resuming a path with no partial on disk must fail loudly, not create an
+// empty volume.
+func TestResumeSlabWriterMissingPartial(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ResumeSlabWriter(filepath.Join(dir, "vol.fbk"), 4, 4, 4); err == nil {
+		t.Fatal("expected missing-partial error")
+	}
+}

@@ -26,25 +26,73 @@ const projMagic = 0x46425031 // "FBP1"
 const projHeaderBytes = 16
 
 // WriteStack writes a full projection stack (origin at row 0, projection 0)
-// to the named file.
+// to the named file. The write is crash-consistent: samples land in a
+// temporary file that is fsynced and atomically renamed into place, so a
+// crash mid-write can never leave a truncated container behind a valid
+// magic — the path either holds the complete stack or whatever was there
+// before.
 func WriteStack(path string, s *projection.Stack) error {
 	if s.V0 != 0 || s.P0 != 0 {
 		return fmt.Errorf("storage: can only persist full stacks at origin, got v0=%d p0=%d", s.V0, s.P0)
 	}
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
 	hdr := []int32{projMagic, int32(s.NU), int32(s.NP), int32(s.NV)}
 	if err := binary.Write(f, binary.LittleEndian, hdr); err != nil {
-		f.Close()
-		return fmt.Errorf("storage: write header: %w", err)
+		return cleanup(fmt.Errorf("storage: write header: %w", err))
 	}
 	if err := binary.Write(f, binary.LittleEndian, s.Data); err != nil {
-		f.Close()
-		return fmt.Errorf("storage: write samples: %w", err)
+		return cleanup(fmt.Errorf("storage: write samples: %w", err))
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("storage: sync: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(path)
+}
+
+// syncDir fsyncs the directory containing path so a rename survives a
+// crash of the directory metadata too. Filesystems that refuse directory
+// fsync (some network mounts) are tolerated.
+func syncDir(path string) error {
+	d, err := os.Open(filepathDir(path))
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}
+
+// filepathDir is filepath.Dir without pulling the import into the hot
+// sample-shuffling file for one call site.
+func filepathDir(path string) string {
+	i := len(path) - 1
+	for i >= 0 && path[i] != '/' {
+		i--
+	}
+	if i < 0 {
+		return "."
+	}
+	if i == 0 {
+		return "/"
+	}
+	return path[:i]
 }
 
 // FileSource serves partial projection loads from a WriteStack container.
@@ -72,7 +120,22 @@ func OpenStack(path string) (*FileSource, error) {
 		f.Close()
 		return nil, fmt.Errorf("storage: bad projection magic %#x", hdr[0])
 	}
-	return &FileSource{f: f, nu: int(hdr[1]), np: int(hdr[2]), nv: int(hdr[3])}, nil
+	nu, np, nv := int(hdr[1]), int(hdr[2]), int(hdr[3])
+	if nu <= 0 || np <= 0 || nv <= 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: header claims non-positive dims %dx%dx%d", nu, np, nv)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	want := int64(projHeaderBytes) + int64(nu)*int64(np)*int64(nv)*4
+	if info.Size() != want {
+		f.Close()
+		return nil, fmt.Errorf("storage: file is %d bytes, header implies %d (truncated or corrupt stack)", info.Size(), want)
+	}
+	return &FileSource{f: f, nu: nu, np: np, nv: nv}, nil
 }
 
 // Close releases the underlying file.
@@ -122,8 +185,17 @@ func float32FromBits(b []byte) float32 {
 // (volume.ReadRaw-compatible). Slabs may arrive in any order and from
 // concurrent writers, mirroring how independent MPI groups store their
 // slices to the PFS.
+//
+// The writer is crash-consistent: slabs accumulate in `path+".partial"`
+// and the file is promoted to its final name only by Close, after an
+// fsync — so the final path never holds an incomplete volume. A run that
+// is killed mid-reconstruction leaves the partial file behind;
+// ResumeSlabWriter reopens it (together with the checkpoint Journal) so a
+// restart redoes only the missing slabs. Slab writes land at fixed
+// offsets, which makes retried and replayed stores idempotent.
 type SlabWriter struct {
 	f          *os.File
+	path       string // final destination; f writes to path+".partial"
 	nx, ny, nz int
 	mu         sync.Mutex
 	written    int
@@ -132,17 +204,24 @@ type SlabWriter struct {
 // volHeaderBytes matches volume.WriteRaw's 5-int32 header.
 const volHeaderBytes = 20
 
-// NewSlabWriter creates (truncates) the output file and sizes it for the
-// full volume.
+// volMagic identifies the raw volume container.
+const volMagic = 0x46424b31 // "FBK1"
+
+// PartialSuffix is appended to a SlabWriter's destination path while the
+// volume is being assembled.
+const PartialSuffix = ".partial"
+
+// NewSlabWriter creates (truncates) the partial output file and sizes it
+// for the full volume. The final path is only written by Close.
 func NewSlabWriter(path string, nx, ny, nz int) (*SlabWriter, error) {
 	if nx <= 0 || ny <= 0 || nz <= 0 {
 		return nil, fmt.Errorf("storage: volume %dx%dx%d must be positive", nx, ny, nz)
 	}
-	f, err := os.Create(path)
+	f, err := os.Create(path + PartialSuffix)
 	if err != nil {
 		return nil, err
 	}
-	hdr := []int32{0x46424b31, int32(nx), int32(ny), int32(nz), 0}
+	hdr := []int32{volMagic, int32(nx), int32(ny), int32(nz), 0}
 	if err := binary.Write(f, binary.LittleEndian, hdr); err != nil {
 		f.Close()
 		return nil, err
@@ -151,7 +230,45 @@ func NewSlabWriter(path string, nx, ny, nz int) (*SlabWriter, error) {
 		f.Close()
 		return nil, err
 	}
-	return &SlabWriter{f: f, nx: nx, ny: ny, nz: nz}, nil
+	return &SlabWriter{f: f, path: path, nx: nx, ny: ny, nz: nz}, nil
+}
+
+// ResumeSlabWriter reopens the partial file a killed run left behind,
+// validating that its header and size match the requested volume so a
+// resume cannot silently continue into a file from a different plan.
+func ResumeSlabWriter(path string, nx, ny, nz int) (*SlabWriter, error) {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return nil, fmt.Errorf("storage: volume %dx%dx%d must be positive", nx, ny, nz)
+	}
+	f, err := os.OpenFile(path+PartialSuffix, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [5]int32
+	if err := binary.Read(f, binary.LittleEndian, &hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: resume %s: read header: %w", path, err)
+	}
+	if hdr[0] != volMagic {
+		f.Close()
+		return nil, fmt.Errorf("storage: resume %s: bad volume magic %#x", path, hdr[0])
+	}
+	if int(hdr[1]) != nx || int(hdr[2]) != ny || int(hdr[3]) != nz {
+		f.Close()
+		return nil, fmt.Errorf("storage: resume %s: partial is %dx%dx%d, want %dx%dx%d",
+			path, hdr[1], hdr[2], hdr[3], nx, ny, nz)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	want := volHeaderBytes + int64(nx)*int64(ny)*int64(nz)*4
+	if info.Size() != want {
+		f.Close()
+		return nil, fmt.Errorf("storage: resume %s: partial is %d bytes, want %d", path, info.Size(), want)
+	}
+	return &SlabWriter{f: f, path: path, nx: nx, ny: ny, nz: nz}, nil
 }
 
 // WriteSlab stores a sub-volume at its Z0 window.
@@ -187,5 +304,34 @@ func (w *SlabWriter) WrittenSlices() int {
 	return w.written
 }
 
-// Close flushes and closes the output file.
-func (w *SlabWriter) Close() error { return w.f.Close() }
+// Sync flushes written slabs to stable storage. Group leaders call it
+// before journaling a checkpoint so the journal never gets ahead of the
+// data it describes.
+func (w *SlabWriter) Sync() error { return w.f.Sync() }
+
+// Close fsyncs the partial file and atomically promotes it to the final
+// path. The destination is only ever a complete volume.
+func (w *SlabWriter) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("storage: sync volume: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(w.path+PartialSuffix, w.path); err != nil {
+		return err
+	}
+	return syncDir(w.path)
+}
+
+// ClosePartial fsyncs and closes the partial file without promoting it,
+// leaving it on disk for a later ResumeSlabWriter. Used when a run aborts
+// after storing some, but not all, slabs.
+func (w *SlabWriter) ClosePartial() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("storage: sync partial volume: %w", err)
+	}
+	return w.f.Close()
+}

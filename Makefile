@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check chaos bench bench-json bench-exec experiments examples clean
+.PHONY: all build test race check chaos trace-smoke bench bench-json bench-exec experiments examples clean
 
 all: build test
 
@@ -20,9 +20,26 @@ race:
 
 # Full static + race-detector gate: the worker-pool kernel and pipeline
 # stages must stay race-clean everywhere, not just the curated race list.
+# The trace smoke-run keeps the telemetry artifacts loadable end to end.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) trace-smoke
+
+# Telemetry artifact gate: a tiny distributed reconstruction with tracing
+# and metrics on, then the artifact validators. Catches any drift in the
+# Chrome-trace / metrics JSON shape that the unit tests' synthetic
+# snapshots wouldn't exercise.
+trace-smoke:
+	mkdir -p artifacts
+	$(GO) run ./cmd/fdkrecon -div 16 -n 32 -batches 4 -groups 2 -ranks 2 \
+		-o artifacts/trace_smoke_vol.bin \
+		-trace-out artifacts/trace_smoke.json \
+		-metrics-json artifacts/metrics_smoke.json
+	$(GO) run ./cmd/fdkbench \
+		-check-trace artifacts/trace_smoke.json \
+		-check-metrics artifacts/metrics_smoke.json
+	rm -f artifacts/trace_smoke_vol.bin
 
 # Fault-tolerance gate: the seeded chaos matrix (transient recovery must be
 # bit-identical, permanent faults must surface typed and bounded with zero

@@ -13,12 +13,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/exec"
 	"runtime"
 	"strings"
 
 	"distfdk/internal/experiments"
+	"distfdk/internal/telemetry"
 )
 
 func main() {
@@ -30,7 +34,23 @@ func main() {
 	execJSON := flag.String("exec-json", "", "run the scale-out executor benchmark and append the entry to this JSON file (skips -exp)")
 	label := flag.String("label", "", "label stamped into the -kernel-json / -exec-json entry")
 	reps := flag.Int("reps", 3, "repetitions per -kernel-json / -exec-json measurement (best-of)")
+	checkTrace := flag.String("check-trace", "", "validate a Chrome trace artifact (exit non-zero on violation) and exit")
+	checkMetrics := flag.String("check-metrics", "", "validate a metrics JSON artifact (exit non-zero on violation) and exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address during the benchmarks")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("fdkbench: pprof server on %s: %v", *pprofAddr, err)
+			}
+		}()
+		fmt.Printf("profiling endpoints on http://%s/debug/pprof\n", *pprofAddr)
+	}
+	if *checkTrace != "" || *checkMetrics != "" {
+		checkArtifacts(*checkTrace, *checkMetrics)
+		return
+	}
 
 	if *list {
 		for _, n := range experiments.Names() {
@@ -78,6 +98,39 @@ func main() {
 	}
 	for _, t := range tables {
 		fmt.Println(t.Render())
+	}
+}
+
+// checkArtifacts validates telemetry artifacts a run produced — the
+// `make trace-smoke` gate. Exits non-zero with the violation on stderr so
+// CI fails loudly on a malformed trace.
+func checkArtifacts(tracePath, metricsPath string) {
+	if tracePath != "" {
+		data, err := os.ReadFile(tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdkbench:", err)
+			os.Exit(1)
+		}
+		events, pids, err := telemetry.ValidateChromeTrace(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdkbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace %s: %d duration events across %d processes\n", tracePath, events, len(pids))
+	}
+	if metricsPath != "" {
+		data, err := os.ReadFile(metricsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdkbench:", err)
+			os.Exit(1)
+		}
+		rep, err := telemetry.ValidateMetricsJSON(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdkbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics %s: %d rank sections, %d skewed counters\n",
+			metricsPath, len(rep.Ranks), len(rep.Cluster))
 	}
 }
 

@@ -11,9 +11,13 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
 	"runtime"
 
 	"distfdk/internal/core"
@@ -26,6 +30,7 @@ import (
 	"distfdk/internal/pipeline"
 	"distfdk/internal/projection"
 	"distfdk/internal/storage"
+	"distfdk/internal/telemetry"
 	"distfdk/internal/volume"
 )
 
@@ -52,6 +57,9 @@ func main() {
 		stats    = flag.Bool("stats", false, "print volume statistics")
 		algo     = flag.String("algo", "fdk", "reconstruction algorithm: fdk, sirt, ossart, mlem, osem")
 		iters    = flag.Int("iters", 10, "iterations for the iterative algorithms")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) of the run")
+		metrics  = flag.String("metrics-json", "", "write the run's metrics JSON artifact")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof and an expvar telemetry snapshot on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -143,12 +151,26 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Telemetry is collected whenever any consumer of it was requested;
+	// otherwise every instrumented path stays at a single pointer check.
+	var run *telemetry.Run
+	if *traceOut != "" || *metrics != "" || *pprof != "" {
+		run = telemetry.NewRun(plan.Ranks())
+	}
+	if *pprof != "" {
+		servePprof(*pprof, run)
+	}
+
 	if plan.Ranks() == 1 {
-		tracer := pipeline.NewTracer()
+		reg := run.Rank(0)
+		tracer := pipeline.TracerFor(reg)
+		if reg == nil {
+			tracer = pipeline.NewTracer()
+		}
 		rep, err := core.ReconstructSingle(core.ReconOptions{
 			Plan: plan, Source: source,
 			Device: device.New("local", *memMB<<20, *workers),
-			Window: win, Sink: sink, Tracer: tracer,
+			Window: win, Sink: sink, Tracer: tracer, Telemetry: reg,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -159,17 +181,25 @@ func main() {
 		if *timeline {
 			fmt.Print(tracer.RenderASCII([]string{"load", "filter", "backproject", "store"}, 100))
 		}
+		writeTelemetry(*traceOut, *metrics, run.Snapshots())
 	} else {
 		rep, err := core.RunDistributed(core.ClusterOptions{
 			Plan: plan, Source: source, Window: win,
 			DeviceMemBytes: *memMB << 20, Output: sink,
+			Telemetry: run,
 		})
+		if rep != nil {
+			// Artifacts are written even when the run failed: a partial
+			// trace is exactly what diagnoses the failure.
+			writeTelemetry(*traceOut, *metrics, rep.Telemetry)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("reconstructed on %d ranks (%d groups × %d) in %v; reduce traffic %.1f MiB\n",
 			plan.Ranks(), *groups, *ranks, rep.Elapsed.Round(1e6),
 			float64(rep.TotalReduceBytes())/(1<<20))
+		fmt.Print(rep.String())
 	}
 
 	if err := sink.V.SaveRaw(*outPath); err != nil {
@@ -234,6 +264,46 @@ func runIterative(algo string, sys *geometry.System, source projection.Source, i
 		return res.Volume, nil
 	}
 	return nil, fmt.Errorf("unknown algorithm %q (fdk, sirt, ossart, mlem, osem)", algo)
+}
+
+// servePprof starts the live profiling endpoint: net/http/pprof on
+// /debug/pprof plus an expvar view of the current telemetry snapshots on
+// /debug/vars, so a long reconstruction can be profiled and its counters
+// watched without waiting for the artifacts.
+func servePprof(addr string, run *telemetry.Run) {
+	expvar.Publish("telemetry", expvar.Func(func() any {
+		return run.Snapshots()
+	}))
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("pprof server on %s: %v", addr, err)
+		}
+	}()
+	fmt.Printf("profiling endpoints on http://%s/debug/pprof (telemetry at /debug/vars)\n", addr)
+}
+
+// writeTelemetry writes the requested trace/metrics artifacts from the
+// run's snapshots; empty paths are skipped.
+func writeTelemetry(tracePath, metricsPath string, snaps []telemetry.Snapshot) {
+	write := func(path string, render func(f *os.File) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry artifact written to %s\n", path)
+	}
+	write(tracePath, func(f *os.File) error { return telemetry.WriteChromeTrace(f, snaps) })
+	write(metricsPath, func(f *os.File) error { return telemetry.WriteMetricsJSON(f, snaps) })
 }
 
 func printStats(s volume.Summary) {

@@ -11,6 +11,7 @@ import (
 	"distfdk/internal/geometry"
 	"distfdk/internal/mpi"
 	"distfdk/internal/projection"
+	"distfdk/internal/telemetry"
 	"distfdk/internal/volume"
 )
 
@@ -66,6 +67,13 @@ type ClusterOptions struct {
 	// records — pass a reopened journal to resume a killed run. The
 	// resumed volume is bit-identical to an uninterrupted one.
 	Checkpoint CheckpointLog
+	// Telemetry, when set, collects the run's metrics and spans: each rank
+	// reports its stage spans, ring traffic, collective latency and retry
+	// activity into Telemetry.Rank(rank), and the final snapshots land in
+	// ClusterReport.Telemetry for export (Chrome trace, metrics JSON,
+	// skew summary). Build with telemetry.NewRun(plan.Ranks()). Nil keeps
+	// every instrumented path at a single pointer check.
+	Telemetry *telemetry.Run
 }
 
 // ClusterReport aggregates per-rank observations of a distributed run.
@@ -85,6 +93,12 @@ type ClusterReport struct {
 	// BatchesDone counts the batches each rank executed (checkpointed
 	// batches it skipped are not counted).
 	BatchesDone []int
+	// Telemetry holds each registry's final snapshot (ranks in order, the
+	// shared registry last) when ClusterOptions.Telemetry was set — the
+	// input to telemetry.WriteChromeTrace / WriteMetricsJSON and the skew
+	// section of String(). Populated even when the run returns an error,
+	// so a chaos run's partial trace is still exportable.
+	Telemetry []telemetry.Snapshot
 }
 
 // TotalReduceBytes sums the bytes every rank sent during segmented
@@ -149,10 +163,14 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 	err := mpi.RunWith(p.Ranks(), mpi.Options{
 		Deadline:    opts.CollectiveDeadline,
 		Interceptor: icept,
+		Telemetry:   opts.Telemetry,
 	}, func(world *mpi.Comm) error {
 		rank := world.Rank()
 		g := p.GroupOf(rank)
 		r := p.RankInGroup(rank)
+		reg := opts.Telemetry.Rank(rank)
+		retry := opts.Retry.Instrumented(reg)
+		batches := reg.Counter("core.batches")
 		src := opts.Source
 		if opts.FaultInjector != nil {
 			src = fault.Source(opts.Source, opts.FaultInjector, rank)
@@ -176,6 +194,7 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 			return err
 		}
 		dev := device.New(fmt.Sprintf("rank%d", rank), opts.DeviceMemBytes, workers)
+		dev.SetTelemetry(reg)
 		ring, err := device.NewProjRing(dev, p.Sys.NU, pHi-pLo, p.RingDepth(g))
 		if err != nil {
 			return err
@@ -210,14 +229,17 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 			}
 			if !diff.IsEmpty() {
 				var st *projection.Stack
-				lerr := opts.Retry.Do(func() error {
+				endLoad := reg.Span("load", c)
+				lerr := retry.Do(func() error {
 					var e error
 					st, e = src.LoadRows(diff, pLo, pHi)
 					return e
 				})
+				endLoad()
 				if lerr != nil {
 					return fmt.Errorf("rank %d batch %d load: %w", rank, c, lerr)
 				}
+				endFilter := reg.Span("filter", c)
 				if err := applyParker(parker, st); err != nil {
 					return fmt.Errorf("rank %d batch %d parker: %w", rank, c, err)
 				}
@@ -226,9 +248,12 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 				if err := fdk.FilterRows(st.Data, count, vOf, 1); err != nil {
 					return fmt.Errorf("rank %d batch %d filter: %w", rank, c, err)
 				}
+				endFilter()
+				endUpload := reg.Span("upload", c)
 				if err := ring.LoadRows(st, st.Rows()); err != nil {
 					return fmt.Errorf("rank %d batch %d: %w", rank, c, err)
 				}
+				endUpload()
 			}
 			prev = rows
 
@@ -236,13 +261,16 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 			if err != nil {
 				return err
 			}
+			endBP := reg.Span("backproject", c)
 			if err := backproject.Streaming(dev, ring, mats, slab, rows); err != nil {
 				return fmt.Errorf("rank %d batch %d: %w", rank, c, err)
 			}
+			endBP()
 			dev.RecordD2H(slab.Bytes())
 
 			// Segmented reduction: only within the group (Figure 3b),
 			// chunk-pipelined through the tree by default.
+			endReduce := reg.Span("reduce", c)
 			switch {
 			case opts.Hierarchical:
 				err = group.HierarchicalReduce(0, slab.Data, opts.RanksPerNode)
@@ -255,12 +283,14 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 			default:
 				err = group.Reduce(0, slab.Data)
 			}
+			endReduce()
 			if err != nil {
 				return fmt.Errorf("rank %d batch %d reduce: %w", rank, c, err)
 			}
 			if group.Rank() == 0 {
+				endStore := reg.Span("store", c)
 				// Fixed slab offsets make a retried store idempotent.
-				if err := opts.Retry.Do(func() error { return sink.WriteSlab(slab) }); err != nil {
+				if err := retry.Do(func() error { return sink.WriteSlab(slab) }); err != nil {
 					return fmt.Errorf("rank %d batch %d store: %w", rank, c, err)
 				}
 				if opts.Checkpoint != nil {
@@ -273,8 +303,10 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 						return fmt.Errorf("rank %d batch %d checkpoint: %w", rank, c, err)
 					}
 				}
+				endStore()
 			}
 			report.BatchesDone[rank]++
+			batches.Inc()
 		}
 		report.Ledgers[rank] = dev.Snapshot()
 		report.WorldStats[rank] = world.Stats()
@@ -283,6 +315,9 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 		return nil
 	})
 	report.Elapsed = time.Since(start)
+	// Snapshots are taken even on error so a chaos run's partial trace and
+	// metrics are still exportable.
+	report.Telemetry = opts.Telemetry.Snapshots()
 	if err != nil {
 		// Partial report: ledgers and stats are populated only for ranks
 		// that completed; BatchesDone still shows how far each rank got.

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"distfdk/internal/telemetry"
+)
+
+// fmtBytes renders a byte count with a binary unit, compact enough for the
+// per-rank summary lines.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+// String renders the run summary the drivers print after a distributed
+// reconstruction: one line per rank (batches executed, bytes moved on both
+// communicators, retry activity when telemetry was on), the
+// unknown-payload total — non-zero means the byte counts undercount real
+// traffic and must be treated as a measurement error — and, when telemetry
+// was collected, the cross-rank skew of every counter (max−min exposes the
+// straggler).
+func (r *ClusterReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: %d ranks, elapsed %v\n", len(r.Ledgers), r.Elapsed.Round(time.Millisecond))
+	counters := map[int]map[string]int64{}
+	for _, s := range r.Telemetry {
+		counters[s.Rank] = s.Counters
+	}
+	var unknown int64
+	for i := range r.Ledgers {
+		sent := r.WorldStats[i].BytesSent + r.GroupStats[i].BytesSent
+		recv := r.WorldStats[i].BytesRecv + r.GroupStats[i].BytesRecv
+		unknown += r.WorldStats[i].UnknownPayloads + r.GroupStats[i].UnknownPayloads
+		fmt.Fprintf(&b, "rank %2d: batches %d, sent %s, recv %s",
+			i, r.BatchesDone[i], fmtBytes(sent), fmtBytes(recv))
+		if c := counters[i]; c != nil {
+			fmt.Fprintf(&b, ", retries %d", c["fault.retries"])
+			if ns := c["fault.backoff_ns"]; ns > 0 {
+				fmt.Fprintf(&b, " (backoff %v)", time.Duration(ns).Round(time.Microsecond))
+			}
+		}
+		if !r.Completed[i] {
+			b.WriteString(" [incomplete]")
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "unknown payloads: %d", unknown)
+	if unknown > 0 {
+		b.WriteString(" (byte counts undercount real traffic!)")
+	}
+	b.WriteByte('\n')
+	if skew := telemetry.AggregateCounters(r.Telemetry); len(skew) > 0 {
+		b.WriteString("counter skew across ranks (min / mean / max):\n")
+		for _, name := range telemetry.SortedCounterNames(r.Telemetry) {
+			sk, ok := skew[name]
+			if !ok {
+				continue // shared-registry-only counter: no rank skew
+			}
+			fmt.Fprintf(&b, "  %-28s %12d / %14.1f / %12d\n", name, sk.Min, sk.Mean, sk.Max)
+		}
+	}
+	return b.String()
+}

@@ -12,6 +12,7 @@ import (
 	"distfdk/internal/geometry"
 	"distfdk/internal/pipeline"
 	"distfdk/internal/projection"
+	"distfdk/internal/telemetry"
 	"distfdk/internal/volume"
 )
 
@@ -115,6 +116,13 @@ type ReconOptions struct {
 	// resume a killed run from its last durable batch. The resumed volume
 	// is bit-identical to an uninterrupted one.
 	Checkpoint CheckpointLog
+	// Telemetry, when set, collects the run's metrics and spans: pipeline
+	// stage spans and credit waits, ring traffic, and retry activity all
+	// report into this registry. When Tracer is nil a tracer backed by
+	// this registry is installed so the stage timeline and the exported
+	// trace share one span set. Nil keeps every instrumented path at a
+	// single pointer check.
+	Telemetry *telemetry.Registry
 }
 
 // slabRowsMonotone reports whether consecutive non-empty batches of group g
@@ -213,6 +221,9 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 	}
 	defer opts.Device.Free(p.SlabBytes())
 
+	opts.Device.SetTelemetry(opts.Telemetry)
+	retry := opts.Retry.Instrumented(opts.Telemetry)
+
 	start := time.Now()
 	before := opts.Device.Snapshot()
 	slabs := 0
@@ -234,7 +245,7 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 			return (*projection.Stack)(nil), nil
 		}
 		var st *projection.Stack
-		err := opts.Retry.Do(func() error {
+		err := retry.Do(func() error {
 			var lerr error
 			st, lerr = opts.Source.LoadRows(diff, 0, p.Sys.NP)
 			return lerr
@@ -336,7 +347,7 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 		}
 		slabs++
 		// Slab offsets are fixed, so a retried store is idempotent.
-		if err := opts.Retry.Do(func() error { return opts.Sink.WriteSlab(slab) }); err != nil {
+		if err := retry.Do(func() error { return opts.Sink.WriteSlab(slab) }); err != nil {
 			return nil, err
 		}
 		if opts.Checkpoint != nil {
@@ -382,6 +393,12 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 		// installing it explicitly asserts the coupling in code.
 		pl.QueueDepth = queueDepth
 		pl.Tracer = opts.Tracer
+		pl.Telemetry = opts.Telemetry
+		if pl.Tracer == nil && opts.Telemetry != nil {
+			// Stage spans land in the run registry so the exported trace
+			// and the ASCII timeline share one span set.
+			pl.Tracer = pipeline.TracerFor(opts.Telemetry)
+		}
 		if err := pl.Run(p.BatchCount); err != nil {
 			return nil, err
 		}

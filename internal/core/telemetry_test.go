@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"distfdk/internal/device"
+	"distfdk/internal/fault"
+	"distfdk/internal/pipeline"
+	"distfdk/internal/projection"
+	"distfdk/internal/telemetry"
+)
+
+// TestChaosTelemetryReconcile is the cross-layer closing of the loop: a
+// distributed chaos run (transient faults + stragglers) with telemetry on
+// must produce counters that reconcile exactly with the independently
+// collected ClusterReport stats, retry/backoff evidence in the spans, and
+// trace/metrics artifacts that pass their validators with every rank
+// represented.
+func TestChaosTelemetryReconcile(t *testing.T) {
+	sys := testSystem()
+	st := sheppStack(t, sys)
+	src := &projection.MemorySource{Full: st}
+	p, err := NewPlan(sys, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fault.NewInjector(7,
+		fault.Rule{Op: fault.OpLoad, Rank: fault.AnyRank, Nth: 1, Count: 1, Class: fault.Transient},
+		fault.Rule{Op: fault.OpSend, Rank: 1, Nth: 2, Count: 2, Delay: 2 * time.Millisecond},
+	)
+	run := telemetry.NewRun(p.Ranks())
+	sink, _ := NewVolumeSink(sys)
+	rep, err := RunDistributed(ClusterOptions{
+		Plan: p, Source: src, Output: sink,
+		FaultInjector:      in,
+		CollectiveDeadline: 5 * time.Second,
+		Retry: &fault.RetryPolicy{
+			MaxAttempts: 4,
+			BaseDelay:   200 * time.Microsecond,
+			MaxDelay:    2 * time.Millisecond,
+			Seed:        7,
+		},
+		Telemetry: run,
+	})
+	if err != nil {
+		t.Fatalf("transient chaos must be absorbed: %v", err)
+	}
+	if in.Fired() == 0 {
+		t.Fatal("schedule injected nothing")
+	}
+	if len(rep.Telemetry) < p.Ranks() {
+		t.Fatalf("report carries %d snapshots, want at least %d", len(rep.Telemetry), p.Ranks())
+	}
+
+	snapByRank := map[int]telemetry.Snapshot{}
+	for _, s := range rep.Telemetry {
+		snapByRank[s.Rank] = s
+	}
+	var totalRetries int64
+	backoffSpans := 0
+	for r := 0; r < p.Ranks(); r++ {
+		s, ok := snapByRank[r]
+		if !ok {
+			t.Fatalf("rank %d missing from telemetry", r)
+		}
+		// Counters must reconcile exactly with the independently kept
+		// mpi.Stats and BatchesDone — same operations, same placement.
+		if want := rep.WorldStats[r].BytesSent + rep.GroupStats[r].BytesSent; s.Counters["mpi.bytes_sent"] != want {
+			t.Errorf("rank %d: mpi.bytes_sent = %d, want world+group = %d", r, s.Counters["mpi.bytes_sent"], want)
+		}
+		if want := rep.WorldStats[r].BytesRecv + rep.GroupStats[r].BytesRecv; s.Counters["mpi.bytes_recv"] != want {
+			t.Errorf("rank %d: mpi.bytes_recv = %d, want world+group = %d", r, s.Counters["mpi.bytes_recv"], want)
+		}
+		if want := int64(rep.BatchesDone[r]); s.Counters["core.batches"] != want {
+			t.Errorf("rank %d: core.batches = %d, want %d", r, s.Counters["core.batches"], want)
+		}
+		totalRetries += s.Counters["fault.retries"]
+		for _, sp := range s.Spans {
+			if sp.Name == "backoff" {
+				backoffSpans++
+			}
+		}
+	}
+	// The injected transient faults must be visible as retry evidence.
+	if totalRetries == 0 {
+		t.Error("no fault.retries recorded despite injected transient faults")
+	}
+	if backoffSpans == 0 {
+		t.Error("no backoff spans recorded despite retries")
+	}
+
+	// The artifacts must validate, with every rank present in the trace.
+	var trace bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&trace, rep.Telemetry); err != nil {
+		t.Fatal(err)
+	}
+	events, pids, err := telemetry.ValidateChromeTrace(trace.Bytes())
+	if err != nil {
+		t.Fatalf("trace artifact invalid: %v", err)
+	}
+	if events == 0 {
+		t.Fatal("trace has no events")
+	}
+	for r := 0; r < p.Ranks(); r++ {
+		if !pids[r] {
+			t.Errorf("rank %d has no track in the trace", r)
+		}
+	}
+	var metrics bytes.Buffer
+	if err := telemetry.WriteMetricsJSON(&metrics, rep.Telemetry); err != nil {
+		t.Fatal(err)
+	}
+	mrep, err := telemetry.ValidateMetricsJSON(metrics.Bytes())
+	if err != nil {
+		t.Fatalf("metrics artifact invalid: %v", err)
+	}
+	// The artifact's totals must match ClusterReport's: sum of the
+	// per-rank mpi.bytes_sent counters == sum of world+group BytesSent.
+	var artifactSent, reportSent int64
+	for _, rm := range mrep.Ranks {
+		if rm.Rank == telemetry.SharedRank {
+			continue
+		}
+		artifactSent += rm.Counters["mpi.bytes_sent"]
+	}
+	for r := 0; r < p.Ranks(); r++ {
+		reportSent += rep.WorldStats[r].BytesSent + rep.GroupStats[r].BytesSent
+	}
+	if artifactSent != reportSent {
+		t.Errorf("metrics artifact bytes_sent total %d != report total %d", artifactSent, reportSent)
+	}
+
+	// The printed summary must surface batches and the clean payload state.
+	out := rep.String()
+	if !bytes.Contains([]byte(out), []byte("unknown payloads: 0")) {
+		t.Errorf("report summary missing unknown-payload line:\n%s", out)
+	}
+	if !bytes.Contains([]byte(out), []byte("counter skew")) {
+		t.Errorf("report summary missing skew section:\n%s", out)
+	}
+}
+
+// Single-device runs share the wiring: stage spans, ring counters and the
+// tracer all report into one registry, and the elastic credit-wait
+// counters appear when telemetry is on.
+func TestSingleTelemetry(t *testing.T) {
+	sys := testSystem()
+	st := sheppStack(t, sys)
+	src := &projection.MemorySource{Full: st}
+	p, err := NewPlan(sys, 1, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	sink, _ := NewVolumeSink(sys)
+	rep, err := ReconstructSingle(ReconOptions{
+		Plan: p, Source: src, Device: device.New("tel", 0, 2),
+		Sink: sink, BPWorkers: 2, Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if s.Counters["device.ring.load_rows"] == 0 {
+		t.Error("ring loads not recorded")
+	}
+	if got := s.Counters["pipeline.backproject.dispatched"]; got != int64(rep.Slabs) {
+		t.Errorf("pipeline.backproject.dispatched = %d, want %d batches", got, rep.Slabs)
+	}
+	stages := map[string]bool{}
+	for _, sp := range s.Spans {
+		stages[sp.Name] = true
+	}
+	for _, want := range []string{"load", "filter", "backproject", "store"} {
+		if !stages[want] {
+			t.Errorf("stage %q recorded no spans (have %v)", want, stages)
+		}
+	}
+	// The auto-installed tracer and the registry share one span set.
+	tr := pipeline.TracerFor(reg)
+	if tr.Total() <= 0 {
+		t.Error("tracer sees no wall-clock window")
+	}
+}

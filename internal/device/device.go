@@ -16,6 +16,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"distfdk/internal/telemetry"
 )
 
 // ErrOutOfMemory is reported when an allocation would exceed the device's
@@ -53,6 +55,11 @@ type Device struct {
 
 	allocated atomic.Int64
 
+	// tel holds the projection-ring telemetry handles (see SetTelemetry).
+	// The pointer is installed before the device is shared with workers
+	// and read-only afterwards; nil costs one check per ring operation.
+	tel *ringTelemetry
+
 	h2dBytes       atomic.Int64
 	d2hBytes       atomic.Int64
 	h2dOps         atomic.Int64
@@ -65,6 +72,39 @@ type Device struct {
 // count (0 = GOMAXPROCS).
 func New(name string, memBytes int64, workers int) *Device {
 	return &Device{Name: name, MemBytes: memBytes, Workers: workers}
+}
+
+// ringTelemetry caches the counter handles the projection ring reports
+// into, resolved once at SetTelemetry so ring operations never touch the
+// registry's name map.
+type ringTelemetry struct {
+	loadRows    *telemetry.Counter // detector rows copied host→device
+	loadOps     *telemetry.Counter // discrete copies (a wrap-around load is 2)
+	loadNs      *telemetry.Counter // time spent in ring copies
+	evictedRows *telemetry.Counter // rows dropped by Release/Reset
+	resets      *telemetry.Counter // full ring resets (disjoint schedules)
+	resident    *telemetry.Gauge   // rows resident after the last mutation
+}
+
+// SetTelemetry points the device's projection-ring instrumentation at a
+// registry. Call before the device is shared across goroutines (the
+// drivers do it right after New); a nil registry — or never calling this —
+// keeps the instrumentation inert at one pointer check per ring
+// operation. Granularity is per batch-level ring operation, never per
+// sample.
+func (d *Device) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		d.tel = nil
+		return
+	}
+	d.tel = &ringTelemetry{
+		loadRows:    reg.Counter("device.ring.load_rows"),
+		loadOps:     reg.Counter("device.ring.load_ops"),
+		loadNs:      reg.Counter("device.ring.load_ns"),
+		evictedRows: reg.Counter("device.ring.evicted_rows"),
+		resets:      reg.Counter("device.ring.resets"),
+		resident:    reg.Gauge("device.ring.resident_rows"),
+	}
 }
 
 // WorkerCount returns the effective kernel execution width.

@@ -3,6 +3,7 @@ package device
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"distfdk/internal/geometry"
 	"distfdk/internal/projection"
@@ -70,6 +71,11 @@ func (r *ProjRing) Valid() geometry.RowRange {
 func (r *ProjRing) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if t := r.dev.tel; t != nil {
+		t.evictedRows.Add(int64(r.valid.Len()))
+		t.resets.Inc()
+		t.resident.Set(0)
+	}
 	r.valid = geometry.RowRange{}
 }
 
@@ -81,7 +87,12 @@ func (r *ProjRing) Release(upTo int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if upTo > r.valid.Lo {
-		r.valid.Lo = min(upTo, r.valid.Hi)
+		newLo := min(upTo, r.valid.Hi)
+		if t := r.dev.tel; t != nil {
+			t.evictedRows.Add(int64(newLo - r.valid.Lo))
+			t.resident.Set(int64(r.valid.Hi - newLo))
+		}
+		r.valid.Lo = newLo
 	}
 }
 
@@ -124,11 +135,21 @@ func (r *ProjRing) LoadRows(src *projection.Stack, rows geometry.RowRange) error
 	if (rows.Lo%r.H)+rows.Len() > r.H {
 		ops = 2
 	}
+	var t0 time.Time
+	if r.dev.tel != nil {
+		t0 = time.Now()
+	}
 	for v := rows.Lo; v < rows.Hi; v++ {
 		slot := v % r.H
 		dst := r.data[slot*r.NP*r.NU : (slot+1)*r.NP*r.NU]
 		srcOff := (v - src.V0) * src.NP * src.NU
 		copy(dst, src.Data[srcOff:srcOff+len(dst)])
+	}
+	if t := r.dev.tel; t != nil {
+		t.loadNs.Add(int64(time.Since(t0)))
+		t.loadRows.Add(int64(rows.Len()))
+		t.loadOps.Add(ops)
+		t.resident.Set(int64(newValid.Len()))
 	}
 	r.dev.RecordH2D(rowBytes*int64(rows.Len()), ops)
 	r.valid = newValid

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"distfdk/internal/telemetry"
 )
 
 // RetryPolicy retries transiently-failing operations with capped
@@ -27,6 +29,29 @@ type RetryPolicy struct {
 	// runs reproducible. Derive per-rank seeds (Seed+rank) to decorrelate
 	// ranks.
 	Seed int64
+
+	// retries/backoffNs/reg are the telemetry handles an Instrumented copy
+	// carries; the zero (shared, uninstrumented) policy leaves them nil.
+	retries   *telemetry.Counter
+	backoffNs *telemetry.Counter
+	reg       *telemetry.Registry
+}
+
+// Instrumented returns a shallow copy of the policy that reports into reg:
+// fault.retries counts re-attempts, fault.backoff_ns accumulates sleep
+// time, and each backoff sleep records a "backoff" span tagged with the
+// attempt number it followed. Policies are shared across ranks, so each
+// rank instruments its own copy; a nil policy or nil registry returns the
+// receiver unchanged (still inert).
+func (p *RetryPolicy) Instrumented(reg *telemetry.Registry) *RetryPolicy {
+	if p == nil || reg == nil {
+		return p
+	}
+	q := *p
+	q.retries = reg.Counter("fault.retries")
+	q.backoffNs = reg.Counter("fault.backoff_ns")
+	q.reg = reg
+	return &q
 }
 
 // Defaults for the zero-valued RetryPolicy fields.
@@ -79,7 +104,12 @@ func (p *RetryPolicy) Do(op func() error) error {
 		if rng == nil {
 			rng = rand.New(rand.NewSource(p.Seed))
 		}
-		time.Sleep(p.backoff(attempt, rng))
+		d := p.backoff(attempt, rng)
+		p.retries.Inc()
+		p.backoffNs.Add(int64(d))
+		end := p.reg.Span("backoff", attempt)
+		time.Sleep(d)
+		end()
 	}
 }
 

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"distfdk/internal/telemetry"
 )
 
 // message is one point-to-point transfer.
@@ -48,6 +50,46 @@ type Comm struct {
 	stats      *Stats
 	deadline   time.Duration
 	icept      Interceptor
+	// tm carries the rank's telemetry handles; Split-derived communicators
+	// inherit it, so one rank's traffic on every communicator lands in one
+	// registry (which is what lets the metrics artifact reconcile against
+	// the sum of world and group Stats). Nil costs one check per operation.
+	tm *commTelemetry
+}
+
+// commTelemetry caches the counter/histogram handles one rank reports
+// point-to-point and collective activity into, resolved once per rank in
+// RunWith so the per-message path never touches the registry's name map.
+type commTelemetry struct {
+	sendBytes, recvBytes *telemetry.Counter
+	unknownPayloads      *telemetry.Counter
+	sendNs, recvNs       *telemetry.Histogram
+	reduceChunks         *telemetry.Counter
+	reduceChunkNs        *telemetry.Histogram
+}
+
+// chunkForwarded counts one pipelined reduction segment forwarded to the
+// tree parent. Nil-safe so the ReduceChunked loop stays branch-light.
+func (t *commTelemetry) chunkForwarded() {
+	if t == nil {
+		return
+	}
+	t.reduceChunks.Inc()
+}
+
+func newCommTelemetry(reg *telemetry.Registry) *commTelemetry {
+	if reg == nil {
+		return nil
+	}
+	return &commTelemetry{
+		sendBytes:       reg.Counter("mpi.bytes_sent"),
+		recvBytes:       reg.Counter("mpi.bytes_recv"),
+		unknownPayloads: reg.Counter("mpi.unknown_payloads"),
+		sendNs:          reg.Histogram("mpi.send_ns"),
+		recvNs:          reg.Histogram("mpi.recv_ns"),
+		reduceChunks:    reg.Counter("mpi.reduce_chunks"),
+		reduceChunkNs:   reg.Histogram("mpi.reduce_chunk_ns"),
+	}
 }
 
 // group is the shared state of a communicator: the channel matrix, the
@@ -157,6 +199,12 @@ type Options struct {
 	// Interceptor, when non-nil, observes every send/recv before the
 	// channel operation (fault injection).
 	Interceptor Interceptor
+	// Telemetry, when non-nil, supplies each rank's registry: every
+	// point-to-point operation records its latency and bytes there
+	// (mpi.send_ns/mpi.bytes_sent and the recv equivalents), and the
+	// chunked reduction its per-segment latency. Inherited by Split
+	// descendants. Nil keeps the message path at one pointer check.
+	Telemetry *telemetry.Run
 }
 
 // Run launches fn on n ranks of a fresh world communicator and waits for
@@ -196,6 +244,7 @@ func RunWith(n int, opt Options, fn func(c *Comm) error) error {
 			c := g.comm(r)
 			c.deadline = opt.Deadline
 			c.icept = opt.Interceptor
+			c.tm = newCommTelemetry(opt.Telemetry.Rank(r))
 			errs[r] = fn(c)
 		}(r)
 	}
@@ -264,6 +313,10 @@ func (c *Comm) Send(dst, tag int, data any) error {
 			return err
 		}
 	}
+	var t0 time.Time
+	if c.tm != nil {
+		t0 = time.Now()
+	}
 	m := message{tag: tag, data: data}
 	ch := c.group.chans[dst][c.rank]
 	select {
@@ -279,6 +332,15 @@ func (c *Comm) Send(dst, tag int, data any) error {
 		c.stats.UnknownPayloads++
 	}
 	c.stats.MessagesSent++
+	// The telemetry mirror sits exactly beside the Stats update so the
+	// metrics artifact reconciles against summed per-communicator Stats.
+	if t := c.tm; t != nil {
+		t.sendBytes.Add(nb)
+		if !known {
+			t.unknownPayloads.Inc()
+		}
+		t.sendNs.ObserveSince(t0)
+	}
 	return nil
 }
 
@@ -330,6 +392,10 @@ func (c *Comm) Recv(src, tag int) (any, error) {
 			return nil, err
 		}
 	}
+	var t0 time.Time
+	if c.tm != nil {
+		t0 = time.Now()
+	}
 	ch := c.group.chans[c.rank][src]
 	var m message
 	select {
@@ -349,6 +415,13 @@ func (c *Comm) Recv(src, tag int) (any, error) {
 		c.stats.UnknownPayloads++
 	}
 	c.stats.MessagesRecv++
+	if t := c.tm; t != nil {
+		t.recvBytes.Add(nb)
+		if !known {
+			t.unknownPayloads.Inc()
+		}
+		t.recvNs.ObserveSince(t0)
+	}
 	return m.data, nil
 }
 
@@ -543,9 +616,17 @@ func (c *Comm) ReduceChunked(root int, buf []float32, chunk int) error {
 			acc = getScratch(len(seg))
 			copy(acc, seg)
 			c.stats.ReduceChunks++
+			c.tm.chunkForwarded()
+		}
+		var t0 time.Time
+		if c.tm != nil {
+			t0 = time.Now()
 		}
 		if err := c.reduceSegment(rel, acc); err != nil {
 			return err
+		}
+		if t := c.tm; t != nil {
+			t.reduceChunkNs.ObserveSince(t0)
 		}
 	}
 	return nil

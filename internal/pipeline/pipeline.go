@@ -16,10 +16,11 @@ package pipeline
 import (
 	"errors"
 	"fmt"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"distfdk/internal/telemetry"
 )
 
 // StageFunc processes one batch. It receives the batch index and the
@@ -57,6 +58,13 @@ type Pipeline struct {
 	QueueDepth int
 	// Tracer, when non-nil, records spans for every (stage, batch).
 	Tracer *Tracer
+	// Telemetry, when non-nil, receives the executor's own metrics —
+	// per-stage dispatch counts and elastic credit-wait time (the time a
+	// stage's dispatcher spent blocked on the in-flight bound, i.e. on its
+	// own reorder buffer draining). Stage spans go through Tracer; this
+	// registry is for the machinery around them. Nil costs one pointer
+	// check per elastic batch.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultQueueDepth is the inter-stage FIFO bound New installs.
@@ -245,6 +253,27 @@ func (p *Pipeline) runStage(si, nBatches int, in <-chan item, out chan<- item) e
 	for i := 0; i < bound; i++ {
 		credits <- struct{}{}
 	}
+	// Telemetry handles resolved once per stage run; nil handles make the
+	// per-batch instrumentation a single pointer check, and the clock is
+	// only read when a registry is attached.
+	var dispatched, creditWaitNs *telemetry.Counter
+	if p.Telemetry != nil {
+		dispatched = p.Telemetry.Counter("pipeline." + stage.Name + ".dispatched")
+		creditWaitNs = p.Telemetry.Counter("pipeline." + stage.Name + ".credit_wait_ns")
+	}
+	takeCredit := func() {
+		if creditWaitNs == nil {
+			<-credits
+			return
+		}
+		select {
+		case <-credits: // credit already free: no wait to account
+		default:
+			t0 := time.Now()
+			<-credits
+			creditWaitNs.Add(int64(time.Since(t0)))
+		}
+	}
 
 	var workerWG sync.WaitGroup
 	for w := 0; w < stage.Workers; w++ {
@@ -273,8 +302,9 @@ func (p *Pipeline) runStage(si, nBatches int, in <-chan item, out chan<- item) e
 		defer close(work)
 		if in == nil {
 			for b := 0; b < nBatches; b++ {
-				<-credits // wait until batch b−bound has been emitted
+				takeCredit() // wait until batch b−bound has been emitted
 				work <- seqItem{seq: b, item: item{batch: b}}
+				dispatched.Inc()
 			}
 			return
 		}
@@ -284,12 +314,15 @@ func (p *Pipeline) runStage(si, nBatches int, in <-chan item, out chan<- item) e
 		// UpstreamCompletionLag's accounting depends on this order.
 		seq := 0
 		for {
-			<-credits // wait until batch seq−bound has been emitted
+			takeCredit() // wait until batch seq−bound has been emitted
 			it, ok := <-in
 			if !ok {
+				// The credit taken for the batch that never arrived is
+				// deliberately not counted as dispatched.
 				return
 			}
 			work <- seqItem{seq: seq, item: it}
+			dispatched.Inc()
 			seq++
 		}
 	}()
@@ -348,113 +381,106 @@ func (p *Pipeline) invoke(stage Stage, it item) (any, error) {
 	return payload, nil
 }
 
-// Span is one traced execution of a stage on a batch.
+// Span is one traced execution of a stage on a batch. Start/End are
+// relative to the tracer's first span, not the underlying registry epoch,
+// so a Tracer's view of time always begins at its first recorded work.
 type Span struct {
 	Stage      string
 	Batch      int
 	Start, End time.Duration // relative to the tracer's first span
 }
 
-// Tracer collects spans from concurrent pipeline stages.
+// Tracer is the pipeline's historical span API, now a thin shim over a
+// telemetry.Registry: spans it records land in the registry (alongside
+// whatever other layers report there) and every accessor is derived from
+// the registry's span store. Code that only wants the Figure 10 timeline
+// keeps calling NewTracer/Span/RenderASCII unchanged; code that wants the
+// full telemetry picture hands the pipeline a shared registry via
+// TracerFor.
+//
+// Time accounting: Total is WALL CLOCK — the window from the first span's
+// start to the last span's end — while BusyByStage SUMS span durations
+// per stage. The two coincide only for a serial, gap-free schedule: a
+// pipelined run has every stage's busy time well below Total (that gap is
+// Idle), and an elastic stage's busy time can exceed Total (overlapping
+// workers). Idle and Utilization quantify the distinction; the exporters
+// (telemetry.RenderGantt, the metrics artifact) build on the same stats.
 type Tracer struct {
-	mu    sync.Mutex
-	base  time.Time
-	spans []Span
+	reg *telemetry.Registry
 }
 
-// NewTracer returns an empty tracer.
-func NewTracer() *Tracer { return &Tracer{} }
+// NewTracer returns a tracer over a fresh private registry.
+func NewTracer() *Tracer { return &Tracer{reg: telemetry.NewRegistry()} }
+
+// TracerFor returns a tracer recording into reg, so pipeline stage spans
+// share a timeline (and an artifact) with every other layer reporting to
+// the same registry. A nil reg yields an inert tracer whose spans are
+// dropped.
+func TracerFor(reg *telemetry.Registry) *Tracer { return &Tracer{reg: reg} }
+
+// Registry exposes the backing registry (nil for an inert tracer).
+func (t *Tracer) Registry() *telemetry.Registry { return t.reg }
 
 // Span opens a span; the returned function closes it.
 func (t *Tracer) Span(stage string, batch int) func() {
-	start := time.Now()
-	t.mu.Lock()
-	if t.base.IsZero() {
-		t.base = start
-	}
-	base := t.base
-	t.mu.Unlock()
-	return func() {
-		end := time.Now()
-		t.mu.Lock()
-		t.spans = append(t.spans, Span{
-			Stage: stage, Batch: batch,
-			Start: start.Sub(base), End: end.Sub(base),
-		})
-		t.mu.Unlock()
-	}
+	return t.reg.Span(stage, batch)
 }
 
-// Spans returns a copy of the recorded spans.
+// Spans returns a copy of the recorded spans, normalised so the first
+// span starts at 0 (the historical Tracer timebase).
 func (t *Tracer) Spans() []Span {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return append([]Span(nil), t.spans...)
-}
-
-// Total returns the end time of the last span.
-func (t *Tracer) Total() time.Duration {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var total time.Duration
-	for _, s := range t.spans {
-		if s.End > total {
-			total = s.End
-		}
+	raw := t.reg.Spans()
+	if len(raw) == 0 {
+		return nil
 	}
-	return total
-}
-
-// BusyByStage returns the summed span duration per stage name.
-func (t *Tracer) BusyByStage() map[string]time.Duration {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := map[string]time.Duration{}
-	for _, s := range t.spans {
-		out[s.Stage] += s.End - s.Start
+	st := telemetry.ComputeSpanStats(raw)
+	out := make([]Span, len(raw))
+	for i, s := range raw {
+		out[i] = Span{Stage: s.Name, Batch: s.Batch, Start: s.Start - st.First, End: s.End - st.First}
 	}
 	return out
 }
 
-// RenderASCII draws a Figure 10-style Gantt chart: one row per stage in
-// stageOrder, time on the X axis scaled to width columns, each batch drawn
-// with its index modulo 10.
+// Total returns the wall-clock window of the trace: the end of the last
+// span measured from the start of the first. NOTE this is elapsed time,
+// not work — compare BusyByStage.
+func (t *Tracer) Total() time.Duration {
+	return telemetry.ComputeSpanStats(t.reg.Spans()).Total
+}
+
+// BusyByStage returns the summed span duration per stage name — work
+// time, which overlapping stages accumulate in parallel, so the values
+// neither sum to Total nor stay below it in general.
+func (t *Tracer) BusyByStage() map[string]time.Duration {
+	return telemetry.ComputeSpanStats(t.reg.Spans()).Busy
+}
+
+// Idle returns Total − busy per stage (clamped at zero): the wall-clock
+// time each stage spent waiting on its neighbours rather than working.
+func (t *Tracer) Idle() map[string]time.Duration {
+	st := telemetry.ComputeSpanStats(t.reg.Spans())
+	out := make(map[string]time.Duration, len(st.Busy))
+	for stage := range st.Busy {
+		out[stage] = st.Idle(stage)
+	}
+	return out
+}
+
+// Utilization returns busy/Total per stage. A well-overlapped pipeline
+// drives its bottleneck stage toward 1; an elastic stage with N busy
+// workers approaches N.
+func (t *Tracer) Utilization() map[string]float64 {
+	st := telemetry.ComputeSpanStats(t.reg.Spans())
+	out := make(map[string]float64, len(st.Busy))
+	for stage := range st.Busy {
+		out[stage] = st.Utilization(stage)
+	}
+	return out
+}
+
+// RenderASCII draws the Figure 10-style Gantt chart via
+// telemetry.RenderGantt: one row per stage in stageOrder, each batch
+// drawn with its index modulo 10, with per-stage utilization appended.
 func (t *Tracer) RenderASCII(stageOrder []string, width int) string {
-	if width < 10 {
-		width = 10
-	}
-	total := t.Total()
-	if total <= 0 {
-		return "(no spans)\n"
-	}
-	spans := t.Spans()
-	nameW := 0
-	for _, s := range stageOrder {
-		if len(s) > nameW {
-			nameW = len(s)
-		}
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%*s  total %v\n", nameW, "", total.Round(time.Millisecond))
-	for _, stage := range stageOrder {
-		row := make([]byte, width)
-		for i := range row {
-			row[i] = ' '
-		}
-		for _, s := range spans {
-			if s.Stage != stage {
-				continue
-			}
-			lo := int(int64(s.Start) * int64(width) / int64(total))
-			hi := int(int64(s.End) * int64(width) / int64(total))
-			if hi >= width {
-				hi = width - 1
-			}
-			for i := lo; i <= hi; i++ {
-				row[i] = byte('0' + s.Batch%10)
-			}
-		}
-		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, stage, string(row))
-	}
-	return b.String()
+	return telemetry.RenderGantt(t.reg.Spans(), stageOrder, width)
 }

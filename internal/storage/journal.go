@@ -6,6 +6,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Journal is the crash-safe checkpoint log of a reconstruction: one
@@ -27,6 +28,9 @@ type Journal struct {
 
 	mu   sync.Mutex
 	done map[[2]int]struct{}
+
+	// tel holds the checkpoint telemetry handles (see SetTelemetry).
+	tel *journalTelemetry
 }
 
 // OpenJournal opens (or creates) the checkpoint journal at path, replaying
@@ -108,8 +112,16 @@ func (j *Journal) Record(group, batch int) error {
 	if _, err := fmt.Fprintf(j.f, "slab %d %d\n", group, batch); err != nil {
 		return fmt.Errorf("storage: journal append: %w", err)
 	}
+	var t0 time.Time
+	if j.tel != nil {
+		t0 = time.Now()
+	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("storage: journal sync: %w", err)
+	}
+	if t := j.tel; t != nil {
+		t.records.Inc()
+		t.syncNs.Add(int64(time.Since(t0)))
 	}
 	j.done[[2]int{group, batch}] = struct{}{}
 	return nil

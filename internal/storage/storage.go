@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"distfdk/internal/geometry"
 	"distfdk/internal/projection"
@@ -199,6 +200,10 @@ type SlabWriter struct {
 	nx, ny, nz int
 	mu         sync.Mutex
 	written    int
+
+	// tel holds the I/O telemetry handles (see SetTelemetry); installed
+	// before the writer is shared, read-only afterwards.
+	tel *slabTelemetry
 }
 
 // volHeaderBytes matches volume.WriteRaw's 5-int32 header.
@@ -279,6 +284,10 @@ func (w *SlabWriter) WriteSlab(slab *volume.Volume) error {
 	if slab.Z0 < 0 || slab.Z0+slab.NZ > w.nz {
 		return fmt.Errorf("storage: slab window [%d,%d) outside [0,%d)", slab.Z0, slab.Z0+slab.NZ, w.nz)
 	}
+	var t0 time.Time
+	if w.tel != nil {
+		t0 = time.Now()
+	}
 	buf := make([]byte, len(slab.Data)*4)
 	for i, x := range slab.Data {
 		bits := floatToBits(x)
@@ -290,6 +299,11 @@ func (w *SlabWriter) WriteSlab(slab *volume.Volume) error {
 	off := volHeaderBytes + int64(slab.Z0)*int64(w.nx)*int64(w.ny)*4
 	if _, err := w.f.WriteAt(buf, off); err != nil {
 		return fmt.Errorf("storage: write slab at z=%d: %w", slab.Z0, err)
+	}
+	if t := w.tel; t != nil {
+		t.writes.Inc()
+		t.writeBytes.Add(int64(len(buf)))
+		t.writeNs.Add(int64(time.Since(t0)))
 	}
 	w.mu.Lock()
 	w.written += slab.NZ
@@ -307,7 +321,18 @@ func (w *SlabWriter) WrittenSlices() int {
 // Sync flushes written slabs to stable storage. Group leaders call it
 // before journaling a checkpoint so the journal never gets ahead of the
 // data it describes.
-func (w *SlabWriter) Sync() error { return w.f.Sync() }
+func (w *SlabWriter) Sync() error {
+	var t0 time.Time
+	if w.tel != nil {
+		t0 = time.Now()
+	}
+	err := w.f.Sync()
+	if t := w.tel; t != nil {
+		t.syncs.Inc()
+		t.syncNs.Add(int64(time.Since(t0)))
+	}
+	return err
+}
 
 // Close fsyncs the partial file and atomically promotes it to the final
 // path. The destination is only ever a complete volume.

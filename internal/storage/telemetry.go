@@ -1,0 +1,56 @@
+package storage
+
+import (
+	"distfdk/internal/telemetry"
+)
+
+// slabTelemetry caches the counter handles the slab writer reports into,
+// resolved once at SetTelemetry so the write path never touches the
+// registry's name map. Slab writers are shared across ranks, so drivers
+// point them at the Run's shared registry.
+type slabTelemetry struct {
+	writes     *telemetry.Counter // WriteSlab calls
+	writeBytes *telemetry.Counter // encoded bytes handed to the filesystem
+	writeNs    *telemetry.Counter // time in WriteSlab (encode + positioned write)
+	syncs      *telemetry.Counter // explicit Sync calls
+	syncNs     *telemetry.Counter // time in those fsyncs
+}
+
+// SetTelemetry points the writer's instrumentation at a registry (normally
+// the Run's shared registry — the writer is not owned by a single rank).
+// Call before the writer is shared across goroutines; nil keeps the write
+// path at one pointer check.
+func (w *SlabWriter) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		w.tel = nil
+		return
+	}
+	w.tel = &slabTelemetry{
+		writes:     reg.Counter("storage.slab.writes"),
+		writeBytes: reg.Counter("storage.slab.write_bytes"),
+		writeNs:    reg.Counter("storage.slab.write_ns"),
+		syncs:      reg.Counter("storage.slab.syncs"),
+		syncNs:     reg.Counter("storage.slab.sync_ns"),
+	}
+}
+
+// journalTelemetry caches the counter handles the checkpoint journal
+// reports into.
+type journalTelemetry struct {
+	records *telemetry.Counter // durably appended entries (replays excluded)
+	syncNs  *telemetry.Counter // time in the per-entry fsync
+}
+
+// SetTelemetry points the journal's instrumentation at a registry
+// (normally the Run's shared registry). Nil keeps Record at one pointer
+// check.
+func (j *Journal) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		j.tel = nil
+		return
+	}
+	j.tel = &journalTelemetry{
+		records: reg.Counter("storage.journal.records"),
+		syncNs:  reg.Counter("storage.journal.sync_ns"),
+	}
+}

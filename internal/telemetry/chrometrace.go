@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file renders run snapshots as Chrome trace_event JSON — the
+// "JSON Array Format" understood by chrome://tracing and Perfetto — with
+// one process per rank and one thread (track) per span name, so a
+// distributed run opens as the paper's Figure 10: rank timelines stacked,
+// each with its load/filter/backproject/reduce/store tracks plus whatever
+// the fault layer recorded (retry, backoff). Field order within an event
+// is fixed by the struct definitions below and events are sorted by
+// timestamp, so the output is byte-stable for identical snapshots (the
+// golden test pins it).
+
+// traceSpanEvent is one complete ("ph":"X") duration event. Timestamps
+// are microseconds with sub-µs precision preserved as fractions.
+type traceSpanEvent struct {
+	Name string        `json:"name"`
+	Cat  string        `json:"cat"`
+	Ph   string        `json:"ph"`
+	Ts   float64       `json:"ts"`
+	Dur  float64       `json:"dur"`
+	Pid  int           `json:"pid"`
+	Tid  int           `json:"tid"`
+	Args traceSpanArgs `json:"args"`
+}
+
+type traceSpanArgs struct {
+	Batch int `json:"batch"`
+}
+
+// traceMetaEvent names a process (rank) or thread (track).
+type traceMetaEvent struct {
+	Name string        `json:"name"`
+	Ph   string        `json:"ph"`
+	Pid  int           `json:"pid"`
+	Tid  int           `json:"tid"`
+	Args traceMetaArgs `json:"args"`
+}
+
+type traceMetaArgs struct {
+	Name string `json:"name"`
+}
+
+// tracePid maps a snapshot's rank label to a trace process id. Shared
+// snapshots (SharedRank) get their own process after the last rank.
+func tracePid(rank, nSnaps int) int {
+	if rank == SharedRank {
+		return nSnaps // one past the largest possible rank
+	}
+	return rank
+}
+
+// WriteChromeTrace renders the snapshots' spans as trace_event JSON. Load
+// the result in chrome://tracing or https://ui.perfetto.dev; one process
+// per rank, one named track per span name. Counters and histograms are
+// not part of the trace — they go to the metrics artifact.
+func WriteChromeTrace(w io.Writer, snaps []Snapshot) error {
+	var metas []traceMetaEvent
+	var events []traceSpanEvent
+	for _, s := range snaps {
+		pid := tracePid(s.Rank, len(snaps))
+		pname := fmt.Sprintf("rank %d", s.Rank)
+		if s.Rank == SharedRank {
+			pname = "shared"
+		}
+		metas = append(metas, traceMetaEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Args: traceMetaArgs{Name: pname},
+		})
+		// Track ids are assigned per process from the sorted distinct span
+		// names, so the assignment is deterministic for identical spans.
+		names := map[string]struct{}{}
+		for _, sp := range s.Spans {
+			names[sp.Name] = struct{}{}
+		}
+		order := make([]string, 0, len(names))
+		for name := range names {
+			order = append(order, name)
+		}
+		sort.Strings(order)
+		tids := make(map[string]int, len(order))
+		for i, name := range order {
+			tids[name] = i + 1
+			metas = append(metas, traceMetaEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: i + 1,
+				Args: traceMetaArgs{Name: name},
+			})
+		}
+		for _, sp := range s.Spans {
+			events = append(events, traceSpanEvent{
+				Name: sp.Name, Cat: "span", Ph: "X",
+				Ts:  float64(sp.Start.Nanoseconds()) / 1e3,
+				Dur: float64((sp.End - sp.Start).Nanoseconds()) / 1e3,
+				Pid: pid, Tid: tids[sp.Name],
+				Args: traceSpanArgs{Batch: sp.Batch},
+			})
+		}
+	}
+	// Monotonic timestamps: viewers tolerate unordered input, but a stable
+	// sorted stream is what makes the artifact diffable and the golden test
+	// possible. Ties break by (pid, tid, name) for determinism.
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		return a.Name < b.Name
+	})
+
+	var buf bytes.Buffer
+	buf.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	first := true
+	writeEvent := func(v any) error {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if !first {
+			buf.WriteString(",\n")
+		}
+		first = false
+		buf.Write(raw)
+		return nil
+	}
+	for _, m := range metas {
+		if err := writeEvent(m); err != nil {
+			return err
+		}
+	}
+	for _, e := range events {
+		if err := writeEvent(e); err != nil {
+			return err
+		}
+	}
+	buf.WriteString("\n]}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// chromeTraceFile mirrors the subset of the trace format the validator
+// checks.
+type chromeTraceFile struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+// ValidateChromeTrace parses a trace artifact and checks the invariants
+// the exporter guarantees: well-formed JSON, at least one duration event,
+// non-negative durations, and globally non-decreasing timestamps. It
+// returns the number of duration events and the set of process ids so
+// callers (the trace-smoke gate) can assert per-rank coverage.
+func ValidateChromeTrace(data []byte) (events int, pids map[int]bool, err error) {
+	var f chromeTraceFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, nil, fmt.Errorf("telemetry: trace is not valid JSON: %w", err)
+	}
+	pids = map[int]bool{}
+	lastTs := -1.0
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "M":
+			continue
+		case "X":
+			if e.Dur < 0 {
+				return 0, nil, fmt.Errorf("telemetry: event %q has negative duration %g", e.Name, e.Dur)
+			}
+			if e.Ts < lastTs {
+				return 0, nil, fmt.Errorf("telemetry: event %q breaks timestamp monotonicity (%g after %g)", e.Name, e.Ts, lastTs)
+			}
+			lastTs = e.Ts
+			pids[e.Pid] = true
+			events++
+		default:
+			return 0, nil, fmt.Errorf("telemetry: unexpected event phase %q", e.Ph)
+		}
+	}
+	if events == 0 {
+		return 0, nil, fmt.Errorf("telemetry: trace contains no duration events")
+	}
+	return events, pids, nil
+}

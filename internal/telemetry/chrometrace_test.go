@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
+
+// goldenSnapshots is a fixed span set covering the exporter's corner
+// cases: two ranks with interleaved stage spans, a shared registry with
+// its own track, and a batch-tagged backoff span.
+func goldenSnapshots() []Snapshot {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []Snapshot{
+		{Rank: 0, Spans: []Span{
+			{Name: "load", Batch: 0, Start: ms(0), End: ms(2)},
+			{Name: "backproject", Batch: 0, Start: ms(2), End: ms(7)},
+			{Name: "load", Batch: 1, Start: ms(2), End: ms(4)},
+			{Name: "backoff", Batch: 1, Start: ms(4), End: ms(5)},
+		}},
+		{Rank: 1, Spans: []Span{
+			{Name: "load", Batch: 0, Start: ms(1), End: ms(3)},
+			{Name: "backproject", Batch: 0, Start: ms(3), End: ms(6)},
+		}},
+		{Rank: SharedRank, Spans: []Span{
+			{Name: "journal", Batch: 0, Start: ms(6), End: ms(8)},
+		}},
+	}
+}
+
+// TestChromeTraceGolden pins the exporter's byte-exact output: stable
+// field order, deterministic track assignment and monotonic timestamps.
+// Refresh with `go test ./internal/telemetry/ -run Golden -update-golden`
+// after an intentional format change.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenSnapshots()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrometrace.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output drifted from golden file %s\ngot:\n%s\nwant:\n%s", path, buf.Bytes(), want)
+	}
+}
+
+func TestChromeTraceValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenSnapshots()); err != nil {
+		t.Fatal(err)
+	}
+	events, pids, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exporter output fails its own validator: %v", err)
+	}
+	if events != 7 {
+		t.Fatalf("events = %d, want 7", events)
+	}
+	// Ranks 0 and 1 plus the shared process (pid = len(snaps) = 3).
+	for _, pid := range []int{0, 1, 3} {
+		if !pids[pid] {
+			t.Fatalf("pid %d missing from trace (have %v)", pid, pids)
+		}
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not JSON":        `{"traceEvents":[`,
+		"no events":       `{"traceEvents":[]}`,
+		"bad phase":       `{"traceEvents":[{"ph":"B","ts":0}]}`,
+		"negative dur":    `{"traceEvents":[{"ph":"X","ts":0,"dur":-1}]}`,
+		"unordered stamp": `{"traceEvents":[{"ph":"X","ts":5,"dur":1},{"ph":"X","ts":1,"dur":1}]}`,
+	}
+	for name, raw := range cases {
+		if _, _, err := ValidateChromeTrace([]byte(raw)); err == nil {
+			t.Errorf("%s: validator accepted invalid trace", name)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MetricsSchema identifies the metrics artifact format; bump on
+// incompatible changes so downstream tooling can dispatch.
+const MetricsSchema = "distfdk-metrics/1"
+
+// MetricsReport is the metrics JSON artifact written next to the
+// BENCH_*.json files: every registry's counters/gauges/histograms plus
+// the cluster-level skew aggregation. Spans are deliberately excluded —
+// they belong to the (much larger) Chrome trace artifact; only their
+// count remains so the two artifacts can be cross-checked.
+type MetricsReport struct {
+	Schema string        `json:"schema"`
+	Ranks  []RankMetrics `json:"ranks"`
+	// Cluster holds min/max/mean skew per counter across the rank
+	// snapshots (shared snapshots excluded): the straggler diagnosis.
+	Cluster map[string]Skew `json:"cluster,omitempty"`
+}
+
+// RankMetrics is one registry's metrics without its spans.
+type RankMetrics struct {
+	Rank       int                          `json:"rank"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	SpanCount  int                          `json:"span_count"`
+}
+
+// BuildMetricsReport folds snapshots into the artifact structure.
+func BuildMetricsReport(snaps []Snapshot) *MetricsReport {
+	rep := &MetricsReport{Schema: MetricsSchema, Cluster: AggregateCounters(snaps)}
+	for _, s := range snaps {
+		rep.Ranks = append(rep.Ranks, RankMetrics{
+			Rank:       s.Rank,
+			Counters:   s.Counters,
+			Gauges:     s.Gauges,
+			Histograms: s.Histograms,
+			SpanCount:  len(s.Spans),
+		})
+	}
+	return rep
+}
+
+// WriteMetricsJSON renders the snapshots as the indented metrics
+// artifact. encoding/json sorts map keys, so the output is byte-stable
+// for identical snapshots.
+func WriteMetricsJSON(w io.Writer, snaps []Snapshot) error {
+	out, err := json.MarshalIndent(BuildMetricsReport(snaps), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(out, '\n'))
+	return err
+}
+
+// ValidateMetricsJSON parses a metrics artifact and checks its schema tag
+// and internal consistency (histogram count sums match bucket sums). It
+// returns the parsed report for further reconciliation by callers.
+func ValidateMetricsJSON(data []byte) (*MetricsReport, error) {
+	var rep MetricsReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("telemetry: metrics artifact is not valid JSON: %w", err)
+	}
+	if rep.Schema != MetricsSchema {
+		return nil, fmt.Errorf("telemetry: metrics schema %q, want %q", rep.Schema, MetricsSchema)
+	}
+	if len(rep.Ranks) == 0 {
+		return nil, fmt.Errorf("telemetry: metrics artifact has no rank sections")
+	}
+	for _, r := range rep.Ranks {
+		for name, h := range r.Histograms {
+			var n int64
+			for _, c := range h.Counts {
+				n += c
+			}
+			if n != h.Count {
+				return nil, fmt.Errorf("telemetry: rank %d histogram %q bucket sum %d != count %d",
+					r.Rank, name, n, h.Count)
+			}
+			if len(h.Counts) != len(h.Bounds)+1 {
+				return nil, fmt.Errorf("telemetry: rank %d histogram %q has %d buckets for %d bounds",
+					r.Rank, name, len(h.Counts), len(h.Bounds))
+			}
+		}
+	}
+	return &rep, nil
+}

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+func metricsSnapshots() []Snapshot {
+	run := NewRun(2)
+	run.Rank(0).Counter("mpi.bytes_sent").Add(100)
+	run.Rank(0).Gauge("device.ring.resident_rows").Set(8)
+	run.Rank(0).HistogramWith("mpi.send_ns", []int64{10, 100}).Observe(50)
+	run.Rank(1).Counter("mpi.bytes_sent").Add(300)
+	run.Shared().Counter("storage.journal.records").Add(4)
+	end := run.Rank(1).Span("load", 0)
+	end()
+	return run.Snapshots()
+}
+
+func TestMetricsRoundTrip(t *testing.T) {
+	snaps := metricsSnapshots()
+	var buf bytes.Buffer
+	if err := WriteMetricsJSON(&buf, snaps); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ValidateMetricsJSON(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exporter output fails its own validator: %v", err)
+	}
+	if len(rep.Ranks) != 3 {
+		t.Fatalf("ranks = %d, want 2 ranks + shared", len(rep.Ranks))
+	}
+	if got := rep.Ranks[0].Counters["mpi.bytes_sent"]; got != 100 {
+		t.Fatalf("rank 0 bytes_sent = %d, want 100", got)
+	}
+	if rep.Ranks[1].SpanCount != 1 {
+		t.Fatalf("rank 1 span_count = %d, want 1", rep.Ranks[1].SpanCount)
+	}
+	if rep.Ranks[2].Rank != SharedRank {
+		t.Fatalf("last section rank = %d, want shared (%d)", rep.Ranks[2].Rank, SharedRank)
+	}
+	sk, ok := rep.Cluster["mpi.bytes_sent"]
+	if !ok || sk.Min != 100 || sk.Max != 300 || sk.Mean != 200 {
+		t.Fatalf("cluster skew = %+v", sk)
+	}
+	// The shared registry's counter must not contaminate the rank skew.
+	if _, ok := rep.Cluster["storage.journal.records"]; ok {
+		t.Fatal("shared counters must be excluded from cluster skew")
+	}
+}
+
+func TestMetricsDeterministic(t *testing.T) {
+	snaps := metricsSnapshots()
+	var a, b bytes.Buffer
+	if err := WriteMetricsJSON(&a, snaps); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetricsJSON(&b, snaps); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("metrics artifact must be byte-stable for identical snapshots")
+	}
+}
+
+func TestValidateMetricsRejects(t *testing.T) {
+	cases := map[string]string{
+		"not JSON":   `{`,
+		"bad schema": `{"schema":"other/1","ranks":[{"rank":0}]}`,
+		"no ranks":   `{"schema":"distfdk-metrics/1","ranks":[]}`,
+		"bad histogram": `{"schema":"distfdk-metrics/1","ranks":[{"rank":0,
+			"histograms":{"h":{"bounds":[10],"counts":[1,2],"sum":5,"count":99}}}]}`,
+		"bucket shape": `{"schema":"distfdk-metrics/1","ranks":[{"rank":0,
+			"histograms":{"h":{"bounds":[10,20],"counts":[1,1],"sum":5,"count":2}}}]}`,
+	}
+	for name, raw := range cases {
+		if _, err := ValidateMetricsJSON([]byte(raw)); err == nil {
+			t.Errorf("%s: validator accepted invalid artifact", name)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if reg.Counter("c") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := reg.Gauge("g")
+	g.Set(7)
+	g.Set(2)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+	h := reg.HistogramWith("h", []int64{10, 100})
+	for _, v := range []int64{5, 50, 500} {
+		h.Observe(v)
+	}
+	s := reg.Snapshot()
+	hs := s.Histograms["h"]
+	if hs.Count != 3 || hs.Sum != 555 {
+		t.Fatalf("histogram count=%d sum=%d, want 3/555", hs.Count, hs.Sum)
+	}
+	want := []int64{1, 1, 1} // one per bucket incl. overflow
+	for i, n := range hs.Counts {
+		if n != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, n, want[i])
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h")
+	c.Add(1)
+	c.Inc()
+	g.Set(5)
+	h.Observe(9)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	end := reg.Span("x", 0)
+	end()
+	if reg.Spans() != nil {
+		t.Fatal("nil registry must have no spans")
+	}
+	if !reg.Snapshot().Empty() {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+
+	var run *Run
+	if run.Rank(0) != nil || run.Shared() != nil || run.Ranks() != 0 || run.Snapshots() != nil {
+		t.Fatal("nil Run must hand out nil registries and no snapshots")
+	}
+}
+
+// TestDisabledPathAllocs pins the overhead contract: with telemetry off
+// (nil handles) every instrumented operation is a no-op that allocates
+// nothing.
+func TestDisabledPathAllocs(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h")
+	if n := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		g.Set(2)
+		h.Observe(3)
+	}); n != 0 {
+		t.Fatalf("disabled handle ops allocate %v/run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		end := reg.Span("x", 1)
+		end()
+	}); n != 0 {
+		t.Fatalf("disabled span allocates %v/run, want 0", n)
+	}
+}
+
+// TestConcurrentRegistry hammers one registry from GOMAXPROCS goroutines
+// so the race detector can audit every path: handle resolution, counter
+// and histogram updates, span recording, and concurrent snapshots.
+func TestConcurrentRegistry(t *testing.T) {
+	reg := NewRegistry()
+	workers := runtime.GOMAXPROCS(0)
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				reg.Counter("shared").Inc()
+				reg.Gauge("depth").Set(int64(i))
+				reg.Histogram("lat").Observe(int64(i))
+				end := reg.Span("work", i)
+				end()
+				if i%50 == 0 {
+					_ = reg.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := reg.Snapshot()
+	want := int64(workers * iters)
+	if got := s.Counters["shared"]; got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if got := s.Histograms["lat"].Count; got != want {
+		t.Fatalf("histogram count = %d, want %d", got, want)
+	}
+	if got := len(s.Spans); got != int(want) {
+		t.Fatalf("spans = %d, want %d", got, want)
+	}
+}
+
+func TestRunSharedEpoch(t *testing.T) {
+	run := NewRun(3)
+	if run.Ranks() != 3 {
+		t.Fatalf("Ranks() = %d, want 3", run.Ranks())
+	}
+	for r := 0; r < 3; r++ {
+		if reg := run.Rank(r); reg == nil || reg.Rank() != r {
+			t.Fatalf("Rank(%d) missing or mislabelled", r)
+		}
+	}
+	if run.Rank(3) != nil || run.Rank(-1) != nil {
+		t.Fatal("out-of-range ranks must degrade to nil registries")
+	}
+	if run.Shared().Rank() != SharedRank {
+		t.Fatalf("shared registry rank = %d, want %d", run.Shared().Rank(), SharedRank)
+	}
+	run.Rank(0).Counter("x").Inc()
+	run.Rank(2).Counter("x").Add(5)
+	// Shared registry silent: snapshots cover exactly the ranks.
+	if snaps := run.Snapshots(); len(snaps) != 3 {
+		t.Fatalf("snapshots = %d, want 3 (silent shared registry omitted)", len(snaps))
+	}
+	run.Shared().Counter("io").Inc()
+	snaps := run.Snapshots()
+	if len(snaps) != 4 || snaps[3].Rank != SharedRank {
+		t.Fatalf("shared snapshot must append last, got %d snaps", len(snaps))
+	}
+}
+
+func TestAggregateCounters(t *testing.T) {
+	snaps := []Snapshot{
+		{Rank: 0, Counters: map[string]int64{"a": 10, "b": 1}},
+		{Rank: 1, Counters: map[string]int64{"a": 30}},
+		{Rank: SharedRank, Counters: map[string]int64{"a": 999}},
+	}
+	skew := AggregateCounters(snaps)
+	a := skew["a"]
+	if a.Min != 10 || a.Max != 30 || a.Mean != 20 || a.Ranks != 2 {
+		t.Fatalf("skew a = %+v, want min 10 max 30 mean 20 over 2 ranks", a)
+	}
+	// b is absent from rank 1: counts as 0 so skew shows the imbalance.
+	b := skew["b"]
+	if b.Min != 0 || b.Max != 1 || b.Mean != 0.5 {
+		t.Fatalf("skew b = %+v, want min 0 max 1 mean 0.5", b)
+	}
+	names := SortedCounterNames(snaps)
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("sorted names = %v", names)
+	}
+	if AggregateCounters(nil) != nil {
+		t.Fatal("no snapshots must aggregate to nil")
+	}
+}
+
+func TestSpanRecording(t *testing.T) {
+	reg := NewRegistry()
+	end := reg.Span("load", 7)
+	time.Sleep(time.Millisecond)
+	end()
+	spans := reg.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "load" || s.Batch != 7 {
+		t.Fatalf("span = %+v", s)
+	}
+	if s.End <= s.Start {
+		t.Fatalf("span must have positive duration, got [%v, %v]", s.Start, s.End)
+	}
+	// An opened but never closed span is not recorded.
+	_ = reg.Span("orphan", 0)
+	if got := len(reg.Spans()); got != 1 {
+		t.Fatalf("unclosed span leaked into the record (%d spans)", got)
+	}
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check chaos trace-smoke bench bench-json bench-exec experiments examples clean
+.PHONY: all build test race check chaos chaos-recover trace-smoke bench bench-json bench-exec experiments examples clean
 
 all: build test
 
@@ -25,6 +25,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) trace-smoke
+	$(MAKE) chaos-recover
 
 # Telemetry artifact gate: a tiny distributed reconstruction with tracing
 # and metrics on, then the artifact validators. Catches any drift in the
@@ -52,6 +53,29 @@ chaos:
 		-run 'TestChaos|TestReconstructSingleRetryAndResume|TestRecvDeadline|TestWorldTeardown|TestSplitInherits|TestInterceptor|TestSendDeadline|TestTeardownLeavesNoGoroutines|TestElasticError|TestJournal|TestWriteStackIsAtomic|TestOpenStackRejects|TestSlabWriterPartial|TestResumeSlabWriter' \
 		./internal/core/ ./internal/mpi/ ./internal/fault/ ./internal/storage/ ./internal/pipeline/
 	$(GO) test -race -count=1 ./internal/fault/
+
+# Recovery gate: the supervised shrink-and-resume suite under the race
+# detector (the rank-kill matrix asserts bit-identical recovery from every
+# single-rank loss at every batch boundary), then an end-to-end recovery
+# drill of the CLI — rank 1 killed at batch 1, world replanned onto the
+# survivors, volume promoted — whose trace and metrics artifacts are
+# validated and kept in artifacts/ for the CI run to upload.
+chaos-recover:
+	$(GO) test -race -count=1 \
+		-run 'TestSupervise|TestShrinkPlan|TestClusterReportSkippedBatches|TestTeardownAttributes|TestDeadlineExpiryCarriesNoAttribution|TestLostRanks|TestScheduleKill|TestBatchStartNilInjector|TestJournal' \
+		./internal/core/ ./internal/mpi/ ./internal/fault/ ./internal/storage/
+	mkdir -p artifacts
+	rm -f artifacts/recover_drill.fbk artifacts/recover_drill.fbk.partial artifacts/recover_drill.journal
+	$(GO) run ./cmd/fdkrecon -div 16 -n 32 -batches 4 -groups 2 -ranks 2 \
+		-o artifacts/recover_drill.fbk \
+		-journal artifacts/recover_drill.journal \
+		-max-restarts 2 -restart-backoff 50ms -kill 1@1 \
+		-trace-out artifacts/recover_trace.json \
+		-metrics-json artifacts/recover_metrics.json
+	$(GO) run ./cmd/fdkbench \
+		-check-trace artifacts/recover_trace.json \
+		-check-metrics artifacts/recover_metrics.json
+	rm -f artifacts/recover_drill.fbk
 
 bench:
 	$(GO) test -bench=. -benchmem -timeout 45m ./...

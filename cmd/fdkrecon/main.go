@@ -19,11 +19,14 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"runtime"
+	"strings"
+	"time"
 
 	"distfdk/internal/core"
 	"distfdk/internal/dataset"
 	"distfdk/internal/device"
 	"distfdk/internal/experiments"
+	"distfdk/internal/fault"
 	"distfdk/internal/filter"
 	"distfdk/internal/geometry"
 	"distfdk/internal/iterative"
@@ -60,6 +63,11 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) of the run")
 		metrics  = flag.String("metrics-json", "", "write the run's metrics JSON artifact")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and an expvar telemetry snapshot on this address (e.g. localhost:6060)")
+		journal  = flag.String("journal", "", "checkpoint journal path (multi-rank mode): durable slab output with crash resume and supervised shrink-and-resume through rank loss")
+		restarts = flag.Int("max-restarts", core.DefaultMaxRestarts, "restart budget of the supervised run (with -journal)")
+		backoff  = flag.Duration("restart-backoff", core.DefaultRestartBackoff, "initial relaunch backoff, doubled per restart (with -journal)")
+		deadline = flag.Duration("deadline", 0, "collective deadline: a lost peer surfaces as a typed error within this bound (0 waits for world teardown)")
+		kills    = flag.String("kill", "", "chaos: comma-separated rank@batch kill schedule, e.g. 1@1,2@0 (recovery drill with -journal)")
 	)
 	flag.Parse()
 
@@ -146,9 +154,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sink, err := core.NewVolumeSink(sys)
-	if err != nil {
-		log.Fatal(err)
+	if *journal != "" && plan.Ranks() == 1 {
+		log.Fatal("-journal requires multi-rank mode (-groups/-ranks > 1); a single-rank run writes its volume directly")
+	}
+	// Durable mode streams slabs to disk through a SlabWriter instead of
+	// assembling them in memory, so the sink is only built without -journal.
+	var sink *core.VolumeSink
+	if *journal == "" {
+		sink, err = core.NewVolumeSink(sys)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	// Telemetry is collected whenever any consumer of it was requested;
@@ -183,11 +199,51 @@ func main() {
 		}
 		writeTelemetry(*traceOut, *metrics, run.Snapshots())
 	} else {
-		rep, err := core.RunDistributed(core.ClusterOptions{
+		copts := core.ClusterOptions{
 			Plan: plan, Source: source, Window: win,
-			DeviceMemBytes: *memMB << 20, Output: sink,
-			Telemetry: run,
-		})
+			DeviceMemBytes: *memMB << 20,
+			Telemetry:      run, CollectiveDeadline: *deadline,
+		}
+		if *kills != "" {
+			inj, err := buildKillInjector(*kills)
+			if err != nil {
+				log.Fatal(err)
+			}
+			copts.FaultInjector = inj
+		}
+
+		if *journal != "" {
+			runSupervised(copts, sys, run, supervisedConfig{
+				journal:  *journal,
+				outPath:  *outPath,
+				restarts: *restarts,
+				backoff:  *backoff,
+				traceOut: *traceOut,
+				metrics:  *metrics,
+			})
+			// The SlabWriter already promoted the volume; voxels are only
+			// loaded back when the post-run views need them.
+			if *slice != "" || *stats {
+				vol, err := volume.LoadRaw(*outPath)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if *slice != "" {
+					if err := vol.SavePGM(*slice, sys.NZ/2, 0, 0); err != nil {
+						log.Fatal(err)
+					}
+					fmt.Printf("central slice written to %s\n", *slice)
+				}
+				if *stats {
+					printStats(vol.Summarize())
+				}
+			}
+			printGeometry(*dsName)
+			return
+		}
+
+		copts.Output = sink
+		rep, err := core.RunDistributed(copts)
 		if rep != nil {
 			// Artifacts are written even when the run failed: a partial
 			// trace is exactly what diagnoses the failure.
@@ -215,9 +271,104 @@ func main() {
 	if *stats {
 		printStats(sink.V.Summarize())
 	}
-	dsFull, err := dataset.ByName(*dsName)
+	printGeometry(*dsName)
+}
+
+// supervisedConfig carries the durable-mode knobs into runSupervised.
+type supervisedConfig struct {
+	journal  string
+	outPath  string
+	restarts int
+	backoff  time.Duration
+	traceOut string
+	metrics  string
+}
+
+// runSupervised runs the distributed reconstruction in durable mode: slabs
+// stream into outPath+".partial" through the crash-consistent SlabWriter,
+// every stored slab is journaled, and core.Supervise replans and relaunches
+// the world in-process through rank loss. A failed run keeps the partial
+// volume and the journal so rerunning the same command resumes where it
+// stopped; a successful one promotes the volume and removes the journal.
+func runSupervised(copts core.ClusterOptions, sys *geometry.System, run *telemetry.Run, cfg supervisedConfig) {
+	var w *storage.SlabWriter
+	var err error
+	if _, serr := os.Stat(cfg.outPath + storage.PartialSuffix); serr == nil {
+		w, err = storage.ResumeSlabWriter(cfg.outPath, sys.NX, sys.NY, sys.NZ)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("resuming %s%s: journaled slabs will be skipped\n",
+			cfg.outPath, storage.PartialSuffix)
+	} else {
+		// A journal with no partial volume describes slabs that no longer
+		// exist on disk; a fresh run must not skip them.
+		if rerr := os.Remove(cfg.journal); rerr == nil {
+			log.Printf("removed stale journal %s (no partial volume to resume)", cfg.journal)
+		}
+		w, err = storage.NewSlabWriter(cfg.outPath, sys.NX, sys.NY, sys.NZ)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	w.SetTelemetry(run.Shared())
+	copts.Output = w
+
+	sup, err := core.Supervise(core.SuperviseOptions{
+		Cluster: copts,
+		OpenCheckpoint: func(fp string) (core.CheckpointLog, error) {
+			j, jerr := storage.OpenJournal(cfg.journal, fp)
+			if jerr != nil {
+				return nil, jerr
+			}
+			j.SetTelemetry(run.Shared())
+			return j, nil
+		},
+		MaxRestarts:    cfg.restarts,
+		RestartBackoff: cfg.backoff,
+	})
+	if sup != nil && sup.Final != nil {
+		// Artifacts are written even when the run failed: a partial trace
+		// of the recovery attempts is exactly what diagnoses the failure.
+		writeTelemetry(cfg.traceOut, cfg.metrics, sup.Final.Telemetry)
+	}
+	if err != nil {
+		w.ClosePartial()
+		log.Fatalf("%v\npartial volume and journal kept; rerun the same command to resume", err)
+	}
+	fmt.Print(sup.String())
+	fmt.Print(sup.Final.String())
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	os.Remove(cfg.journal)
+	fmt.Printf("volume %dx%dx%d written to %s\n", sys.NX, sys.NY, sys.NZ, cfg.outPath)
+}
+
+// buildKillInjector parses a "rank@batch,rank@batch" chaos schedule into an
+// injector armed with one-shot rank kills.
+func buildKillInjector(spec string) (*fault.Injector, error) {
+	in := fault.NewInjector(1)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var rank, batch int
+		if _, err := fmt.Sscanf(part, "%d@%d", &rank, &batch); err != nil || fmt.Sprintf("%d@%d", rank, batch) != part {
+			return nil, fmt.Errorf("bad -kill entry %q (want rank@batch, e.g. 1@1)", part)
+		}
+		in.ScheduleKill(rank, batch)
+	}
+	return in, nil
+}
+
+// printGeometry prints the dataset's descriptive line when its name is
+// registered.
+func printGeometry(dsName string) {
+	ds, err := dataset.ByName(dsName)
 	if err == nil {
-		fmt.Printf("geometry: %s (magnification %.2f)\n", dsFull.Description, dsFull.Magnification())
+		fmt.Printf("geometry: %s (magnification %.2f)\n", ds.Description, ds.Magnification())
 	}
 }
 

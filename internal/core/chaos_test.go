@@ -231,7 +231,7 @@ func TestChaosKillAndResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, err := storage.OpenJournal(journalPath)
+	j, err := storage.OpenJournal(journalPath, p.Fingerprint())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +268,7 @@ func TestChaosKillAndResume(t *testing.T) {
 
 	// Run 2: reopen journal and partial volume, replay the plan. Journaled
 	// batches are skipped; the rest are redone fault-free.
-	j2, err := storage.OpenJournal(journalPath)
+	j2, err := storage.OpenJournal(journalPath, p.Fingerprint())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +351,7 @@ func TestReconstructSingleRetryAndResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, err := storage.OpenJournal(journalPath)
+	j, err := storage.OpenJournal(journalPath, p.Fingerprint())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,11 +359,11 @@ func TestReconstructSingleRetryAndResume(t *testing.T) {
 		fault.Rule{Op: fault.OpLoad, Rank: 0, Nth: 2, Count: 1, Class: fault.Transient},
 		fault.Rule{Op: fault.OpStore, Rank: 0, Nth: 4, Count: fault.Every, Class: fault.Permanent})
 	_, err = ReconstructSingle(ReconOptions{
-		Plan:   p,
-		Source: fault.Source(src, in, 0),
-		Device: device.New("chaos", 0, 2),
-		Sink:   fault.Sink(w, in, 0),
-		Retry:  &fault.RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Microsecond, Seed: 7},
+		Plan:       p,
+		Source:     fault.Source(src, in, 0),
+		Device:     device.New("chaos", 0, 2),
+		Sink:       fault.Sink(w, in, 0),
+		Retry:      &fault.RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Microsecond, Seed: 7},
 		Checkpoint: j,
 	})
 	if err == nil {
@@ -383,7 +383,7 @@ func TestReconstructSingleRetryAndResume(t *testing.T) {
 	}
 
 	// Run 2: resume fault-free; only the missing batches run.
-	j2, err := storage.OpenJournal(journalPath)
+	j2, err := storage.OpenJournal(journalPath, p.Fingerprint())
 	if err != nil {
 		t.Fatal(err)
 	}

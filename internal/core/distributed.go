@@ -62,10 +62,11 @@ type ClusterOptions struct {
 	// as a typed mpi.ErrRankLost instead of a hang. Zero waits forever
 	// (world teardown still wakes blocked ranks when a peer errors out).
 	CollectiveDeadline time.Duration
-	// Checkpoint, when set, journals each (group, batch) slab after the
-	// group leader has durably stored it, and skips pairs the log already
-	// records — pass a reopened journal to resume a killed run. The
-	// resumed volume is bit-identical to an uninterrupted one.
+	// Checkpoint, when set, journals each output slab (keyed by its first
+	// slice z0) after the group leader has durably stored it, and skips
+	// slabs the log already records — pass a reopened journal to resume a
+	// killed run, even one replanned onto a smaller world (see Supervise).
+	// The resumed volume is bit-identical to an uninterrupted one.
 	Checkpoint CheckpointLog
 	// Telemetry, when set, collects the run's metrics and spans: each rank
 	// reports its stage spans, ring traffic, collective latency and retry
@@ -90,9 +91,20 @@ type ClusterReport struct {
 	// the survivors' ledgers and stats; a rank's other slots are only
 	// meaningful where Completed is true.
 	Completed []bool
-	// BatchesDone counts the batches each rank executed (checkpointed
-	// batches it skipped are not counted).
-	BatchesDone []int
+	// BatchesDone counts the batches each rank executed; BatchesSkipped
+	// counts the checkpointed batches each rank skipped on resume. The two
+	// are disjoint, so BatchesDone always reconciles with the per-rank
+	// `core.batches` telemetry counter and BatchesSkipped with
+	// `core.batches_skipped`, resumed run or not.
+	BatchesDone    []int
+	BatchesSkipped []int
+	// Restarts and LostRanks are filled in by Supervise when the run was
+	// the final attempt of a supervised shrink-and-resume: how many times
+	// the world was relaunched, and which world ranks (numbered in the
+	// attempt that lost them) were declared dead along the way. Zero and
+	// empty for an unsupervised run.
+	Restarts  int
+	LostRanks []int
 	// Telemetry holds each registry's final snapshot (ranks in order, the
 	// shared registry last) when ClusterOptions.Telemetry was set — the
 	// input to telemetry.WriteChromeTrace / WriteMetricsJSON and the skew
@@ -152,6 +164,8 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 		GroupStats:  make([]mpi.Stats, p.Ranks()),
 		Completed:   make([]bool, p.Ranks()),
 		BatchesDone: make([]int, p.Ranks()),
+
+		BatchesSkipped: make([]int, p.Ranks()),
 	}
 	// The assignment below must stay behind the pointer check: a typed-nil
 	// interface would defeat the runtime's nil fast path.
@@ -171,6 +185,7 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 		reg := opts.Telemetry.Rank(rank)
 		retry := opts.Retry.Instrumented(reg)
 		batches := reg.Counter("core.batches")
+		batchesSkipped := reg.Counter("core.batches_skipped")
 		src := opts.Source
 		if opts.FaultInjector != nil {
 			src = fault.Source(opts.Source, opts.FaultInjector, rank)
@@ -211,13 +226,27 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 			if nz == 0 {
 				continue // consistent across the whole group
 			}
-			// A checkpointed batch is skipped by the whole group: Done(g, c)
+			// The batch boundary is the rank-kill injection point of the
+			// chaos matrix: a scheduled kill surfaces here as a permanent
+			// fault.Error, aborting this rank so its peers observe the loss
+			// through world teardown.
+			if opts.FaultInjector != nil {
+				if kerr := opts.FaultInjector.BatchStart(rank, c); kerr != nil {
+					return fmt.Errorf("rank %d batch %d: %w", rank, c, kerr)
+				}
+			}
+			// A checkpointed batch is skipped by the whole group: Done(z0)
 			// reads the same pre-run journal state on every rank, and the
 			// leader only records a batch after its group has passed it, so
-			// the collectives below always pair up. `prev` deliberately
-			// tracks executed batches only — DifferentialRows then reloads
-			// whatever a skipped batch would have left resident.
-			if opts.Checkpoint != nil && opts.Checkpoint.Done(g, c) {
+			// the collectives below always pair up. The key is the slab's
+			// output identity z0, not (g, c) — a journal recorded by a
+			// larger world resumes cleanly after a shrink renumbers both.
+			// `prev` deliberately tracks executed batches only —
+			// DifferentialRows then reloads whatever a skipped batch would
+			// have left resident.
+			if opts.Checkpoint != nil && opts.Checkpoint.Done(z0) {
+				report.BatchesSkipped[rank]++
+				batchesSkipped.Inc()
 				continue
 			}
 			rows := p.SlabRows(g, c)
@@ -299,7 +328,7 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 					if err := syncSink(opts.Output); err != nil {
 						return fmt.Errorf("rank %d batch %d sync: %w", rank, c, err)
 					}
-					if err := opts.Checkpoint.Record(g, c); err != nil {
+					if err := opts.Checkpoint.Record(z0, c); err != nil {
 						return fmt.Errorf("rank %d batch %d checkpoint: %w", rank, c, err)
 					}
 				}

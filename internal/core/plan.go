@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"distfdk/internal/geometry"
 )
@@ -174,6 +175,44 @@ func (p *Plan) InputElements(g int) int64 {
 // SlabBytes returns Size_vol (Equation 15) for a full-height batch slab.
 func (p *Plan) SlabBytes() int64 {
 	return 4 * int64(p.Sys.NX) * int64(p.Sys.NY) * int64(p.slicesPerBatch)
+}
+
+// SlabLayout returns every non-empty batch's output window as (z0, nz)
+// pairs in ascending z0 order. The layout is the world-shape-invariant
+// identity of the plan's outputs: two plans over the same geometry with
+// equal layouts cut the volume into the same slabs at the same file
+// offsets, whatever their (Ng, Nr, Nc) shape.
+func (p *Plan) SlabLayout() [][2]int {
+	var out [][2]int
+	for g := 0; g < p.NGroups; g++ {
+		for c := 0; c < p.BatchCount; c++ {
+			if z0, nz := p.SlabZ(g, c); nz > 0 {
+				out = append(out, [2]int{z0, nz})
+			}
+		}
+	}
+	return out // groups ascend, batches ascend within a group ⇒ z0 ascends
+}
+
+// Fingerprint identifies everything a checkpoint journal must agree on to
+// be resumable: the full acquisition/volume geometry (any parameter change
+// alters voxel values, so mixing journaled slabs across geometries would
+// silently corrupt the output) and the slab layout (which names the bytes
+// each record covers). It deliberately excludes (Ng, Nr, Nc): a shrunk
+// re-plan that preserves the layout yields the same fingerprint and may
+// resume the journal — the basis of supervised shrink-and-resume.
+//
+// The token is space-free (storage.OpenJournal requires that) and carries
+// a human-readable volume-shape prefix ahead of the hash.
+func (p *Plan) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v\n", *p.Sys)
+	layout := p.SlabLayout()
+	for _, s := range layout {
+		fmt.Fprintf(h, "%d:%d ", s[0], s[1])
+	}
+	return fmt.Sprintf("plan1-%dx%dx%d-s%d-%016x",
+		p.Sys.NX, p.Sys.NY, p.Sys.NZ, len(layout), h.Sum64())
 }
 
 func (p *Plan) String() string {

@@ -41,8 +41,14 @@ func (r *ClusterReport) String() string {
 		sent := r.WorldStats[i].BytesSent + r.GroupStats[i].BytesSent
 		recv := r.WorldStats[i].BytesRecv + r.GroupStats[i].BytesRecv
 		unknown += r.WorldStats[i].UnknownPayloads + r.GroupStats[i].UnknownPayloads
-		fmt.Fprintf(&b, "rank %2d: batches %d, sent %s, recv %s",
-			i, r.BatchesDone[i], fmtBytes(sent), fmtBytes(recv))
+		fmt.Fprintf(&b, "rank %2d: batches %d", i, r.BatchesDone[i])
+		if r.BatchesSkipped != nil && r.BatchesSkipped[i] > 0 {
+			// Resumed run: these batches were already durable in the
+			// journal, so BatchesDone stays reconciled with the
+			// core.batches counter while the skips are accounted here.
+			fmt.Fprintf(&b, " (+%d skipped)", r.BatchesSkipped[i])
+		}
+		fmt.Fprintf(&b, ", sent %s, recv %s", fmtBytes(sent), fmtBytes(recv))
 		if c := counters[i]; c != nil {
 			fmt.Fprintf(&b, ", retries %d", c["fault.retries"])
 			if ns := c["fault.backoff_ns"]; ns > 0 {
@@ -53,6 +59,10 @@ func (r *ClusterReport) String() string {
 			b.WriteString(" [incomplete]")
 		}
 		b.WriteByte('\n')
+	}
+	if r.Restarts > 0 || len(r.LostRanks) > 0 {
+		fmt.Fprintf(&b, "recovery: %d restarts, lost ranks %v, finished on %d ranks\n",
+			r.Restarts, r.LostRanks, len(r.Ledgers))
 	}
 	fmt.Fprintf(&b, "unknown payloads: %d", unknown)
 	if unknown > 0 {

@@ -111,10 +111,10 @@ type ReconOptions struct {
 	// capped exponential backoff; permanent failures abort immediately.
 	// Nil means a single attempt.
 	Retry *fault.RetryPolicy
-	// Checkpoint, when set, journals every stored slab (as group 0) and
-	// skips batches the log already records — pass a reopened journal to
-	// resume a killed run from its last durable batch. The resumed volume
-	// is bit-identical to an uninterrupted one.
+	// Checkpoint, when set, journals every stored slab (keyed by its
+	// first slice z0) and skips slabs the log already records — pass a
+	// reopened journal to resume a killed run from its last durable
+	// batch. The resumed volume is bit-identical to an uninterrupted one.
 	Checkpoint CheckpointLog
 	// Telemetry, when set, collects the run's metrics and spans: pipeline
 	// stage spans and credit waits, ring traffic, and retry activity all
@@ -232,8 +232,12 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 	var prevResident geometry.RowRange
 
 	loadStage := func(c int, _ any) (any, error) {
-		if opts.Checkpoint != nil && opts.Checkpoint.Done(0, c) {
-			return skipBatch{}, nil
+		if opts.Checkpoint != nil {
+			// The checkpoint key is the slab's output identity z0, shared
+			// with the distributed drivers, so the journals interoperate.
+			if z0, nz := p.SlabZ(0, c); nz > 0 && opts.Checkpoint.Done(z0) {
+				return skipBatch{}, nil
+			}
 		}
 		rows := p.SlabRows(0, c)
 		if rows.IsEmpty() {
@@ -356,7 +360,7 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 			if err := syncSink(opts.Sink); err != nil {
 				return nil, err
 			}
-			return nil, opts.Checkpoint.Record(0, c)
+			return nil, opts.Checkpoint.Record(slab.Z0, c)
 		}
 		return nil, nil
 	}

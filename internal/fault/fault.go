@@ -48,6 +48,7 @@ const (
 	OpStore = "store" // SlabSink.WriteSlab
 	OpSend  = "send"  // mpi point-to-point send
 	OpRecv  = "recv"  // mpi point-to-point receive
+	OpKill  = "kill"  // scheduled rank death at a batch boundary (BatchStart)
 )
 
 // AnyRank in a Rule matches every rank.
@@ -71,6 +72,11 @@ type Error struct {
 }
 
 func (e *Error) Error() string {
+	if e.Op == OpKill {
+		// For kills N is the batch boundary the rank died at, not an
+		// occurrence count.
+		return fmt.Sprintf("fault: injected rank-kill on rank %d at batch %d", e.Rank, e.N)
+	}
 	return fmt.Sprintf("fault: injected %s failure at %s #%d on rank %d", e.Class, e.Op, e.N, e.Rank)
 }
 
@@ -159,6 +165,7 @@ type Injector struct {
 
 	mu     sync.Mutex
 	counts map[opRank]int
+	kills  map[opRank]bool // (rank, batch) boundaries scheduled to kill
 	fired  int
 }
 
@@ -166,6 +173,10 @@ type opRank struct {
 	op   string
 	rank int
 }
+
+// killKey encodes a scheduled kill's (rank, batch) coordinates in the
+// opRank map key: op carries the batch ordinal.
+func killKey(rank, batch int) opRank { return opRank{op: fmt.Sprintf("b%d", batch), rank: rank} }
 
 // NewInjector builds an injector for one seeded schedule.
 func NewInjector(seed int64, rules ...Rule) *Injector {
@@ -181,6 +192,54 @@ func (in *Injector) Fired() int {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.fired
+}
+
+// ScheduleKill arms a rank-kill fault: the first time rank reaches the
+// boundary of batch (see BatchStart), it dies with a permanent OpKill
+// error. Each scheduled kill fires at most once — deliberately, since
+// after a supervised shrink the surviving ranks are renumbered and a
+// persistent rule would murder an innocent successor on every attempt.
+func (in *Injector) ScheduleKill(rank, batch int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.kills == nil {
+		in.kills = map[opRank]bool{}
+	}
+	in.kills[killKey(rank, batch)] = true
+}
+
+// PendingKills returns how many scheduled kills have not fired yet.
+func (in *Injector) PendingKills() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.kills)
+}
+
+// BatchStart records that rank reached the boundary of batch and returns
+// the scheduled kill armed for exactly those coordinates, if any,
+// consuming it. The drivers call this at the top of every batch, which is
+// what makes "kill rank r at batch b" a first-class chaos schedule rather
+// than an approximation via per-operation counts. A nil injector is
+// inert.
+func (in *Injector) BatchStart(rank, batch int) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	key := killKey(rank, batch)
+	armed := in.kills[key]
+	if armed {
+		delete(in.kills, key)
+		in.fired++
+	}
+	in.mu.Unlock()
+	if !armed {
+		return nil
+	}
+	return &Error{Class: Permanent, Op: OpKill, Rank: rank, N: batch}
 }
 
 // Hit records one occurrence of op on rank and returns the injected error

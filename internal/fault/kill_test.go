@@ -1,0 +1,56 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+// A scheduled kill fires exactly once, at exactly its (rank, batch)
+// coordinates, as a permanent injected fault. One-shot consumption is
+// what keeps a supervised relaunch safe: the shrunk world renumbers
+// ranks, and a kill that re-fired would murder an innocent successor.
+func TestScheduleKillFiresOnceAtCoordinates(t *testing.T) {
+	in := NewInjector(42)
+	in.ScheduleKill(2, 1)
+	if in.PendingKills() != 1 {
+		t.Fatalf("PendingKills = %d, want 1", in.PendingKills())
+	}
+	if err := in.BatchStart(2, 0); err != nil {
+		t.Fatalf("fired at wrong batch: %v", err)
+	}
+	if err := in.BatchStart(1, 1); err != nil {
+		t.Fatalf("fired at wrong rank: %v", err)
+	}
+	err := in.BatchStart(2, 1)
+	if err == nil {
+		t.Fatal("armed kill did not fire at its coordinates")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("kill is not an injected fault: %v", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("a rank kill must classify as permanent")
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Op != OpKill || fe.Rank != 2 || fe.N != 1 {
+		t.Fatalf("kill coordinates wrong: %+v", fe)
+	}
+	if in.Fired() != 1 || in.PendingKills() != 0 {
+		t.Fatalf("Fired=%d PendingKills=%d after the kill, want 1/0", in.Fired(), in.PendingKills())
+	}
+	// Consumed: the renumbered world's rank 2 survives batch 1.
+	if err := in.BatchStart(2, 1); err != nil {
+		t.Fatalf("kill fired twice: %v", err)
+	}
+}
+
+// A nil injector must be inert on the batch-boundary path too.
+func TestBatchStartNilInjector(t *testing.T) {
+	var in *Injector
+	if err := in.BatchStart(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if in.PendingKills() != 0 {
+		t.Fatal("nil injector must report no pending kills")
+	}
+}

@@ -1,0 +1,101 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// A rank that dies for its own reasons must be named in the Lost set of
+// the RankLostError every surviving peer wakes with — and only that rank:
+// peers failing with ErrRankLost are observers, not culprits. LostRanks
+// must recover the attribution from RunWith's joined error.
+func TestTeardownAttributesLostRanks(t *testing.T) {
+	boom := errors.New("boom")
+	err := RunWith(3, Options{}, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("rank 1 giving up: %w", boom)
+		}
+		// The peers block on a message that will never come; teardown
+		// must wake them with the culprit's name attached.
+		_, rerr := c.Recv(1, 7)
+		return rerr
+	})
+	if err == nil {
+		t.Fatal("world must fail when a rank dies")
+	}
+	if !errors.Is(err, ErrRankLost) {
+		t.Fatalf("joined error lost the ErrRankLost observers: %v", err)
+	}
+	if lost := LostRanks(err); len(lost) != 1 || lost[0] != 1 {
+		t.Fatalf("LostRanks = %v, want [1] (observers must not be blamed)", lost)
+	}
+}
+
+// Two ranks dying concurrently must both be attributable from the joined
+// error, sorted.
+func TestTeardownAttributesMultipleLosses(t *testing.T) {
+	err := RunWith(4, Options{Deadline: 2 * time.Second}, func(c *Comm) error {
+		switch c.Rank() {
+		case 1, 3:
+			return fmt.Errorf("rank %d giving up", c.Rank())
+		default:
+			_, rerr := c.Recv(1, 7)
+			return rerr
+		}
+	})
+	if err == nil {
+		t.Fatal("world must fail")
+	}
+	lost := LostRanks(err)
+	// A survivor can wake between the two culprits' marks, so the union
+	// may name one or both. The race-free guarantee: at least one culprit
+	// is named, and no innocent ever is.
+	if len(lost) == 0 {
+		t.Fatal("no attribution for a double loss")
+	}
+	for _, r := range lost {
+		if r != 1 && r != 3 {
+			t.Fatalf("LostRanks = %v blames innocent rank %d", lost, r)
+		}
+	}
+}
+
+// A deadline expiry cannot tell a dead peer from a slow one, so it must
+// not attribute: Lost stays empty.
+func TestDeadlineExpiryCarriesNoAttribution(t *testing.T) {
+	err := RunWith(2, Options{Deadline: 20 * time.Millisecond}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			_, rerr := c.Recv(1, 1)
+			return rerr
+		}
+		time.Sleep(150 * time.Millisecond) // stall, don't die
+		return nil
+	})
+	if err == nil {
+		t.Fatal("deadline must fire")
+	}
+	if !errors.Is(err, ErrRankLost) {
+		t.Fatalf("expiry is not ErrRankLost: %v", err)
+	}
+	if lost := LostRanks(err); lost != nil {
+		t.Fatalf("LostRanks = %v for a pure deadline expiry, want none", lost)
+	}
+}
+
+func TestLostRanksNilAndForeign(t *testing.T) {
+	if LostRanks(nil) != nil {
+		t.Fatal("LostRanks(nil) must be empty")
+	}
+	if LostRanks(errors.New("unrelated")) != nil {
+		t.Fatal("LostRanks must ignore foreign errors")
+	}
+	wrapped := fmt.Errorf("outer: %w", errors.Join(
+		&RankLostError{Rank: 0, Peer: 2, Op: "recv", Lost: []int{2, 5}},
+		&RankLostError{Rank: 1, Peer: 2, Op: "send", Lost: []int{2}},
+	))
+	if lost := LostRanks(wrapped); len(lost) != 2 || lost[0] != 2 || lost[1] != 5 {
+		t.Fatalf("LostRanks = %v, want [2 5]", lost)
+	}
+}

@@ -11,6 +11,7 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -115,11 +116,43 @@ type group struct {
 type teardown struct {
 	once sync.Once
 	ch   chan struct{}
+
+	// mu guards lost: the world ranks whose own functions failed — the
+	// culprits of the teardown, as opposed to the ranks that merely
+	// observed it. RunWith records a rank here (before tripping the
+	// signal) when its error is not itself ErrRankLost, so the
+	// RankLostError every blocked peer wakes with can name the dead.
+	mu   sync.Mutex
+	lost []int
 }
 
 func newTeardown() *teardown { return &teardown{ch: make(chan struct{})} }
 
 func (t *teardown) trip() { t.once.Do(func() { close(t.ch) }) }
+
+// markLost records a world rank as a teardown culprit (idempotent).
+func (t *teardown) markLost(rank int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.lost {
+		if r == rank {
+			return
+		}
+	}
+	t.lost = append(t.lost, rank)
+}
+
+// lostRanks returns a sorted copy of the culprit set (nil when empty).
+func (t *teardown) lostRanks() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.lost) == 0 {
+		return nil
+	}
+	out := append([]int(nil), t.lost...)
+	sort.Ints(out)
+	return out
+}
 
 // Interceptor observes the point-to-point path before the channel
 // operation runs. internal/fault implements it to inject message-layer
@@ -144,6 +177,13 @@ type RankLostError struct {
 	Peer int           // the peer it was exchanging with
 	Op   string        // "send" or "recv"
 	Wait time.Duration // deadline that expired; 0 when the world tore down
+	// Lost names the world ranks whose own failures caused the teardown,
+	// sorted ascending — who actually died, as opposed to Peer, which is
+	// merely who this rank was talking to when the world collapsed.
+	// Populated on teardown-path errors only: a deadline expiry cannot
+	// attribute the stall (the peer may be slow, not dead), so Lost stays
+	// nil there. Supervisors use LostRanks to size the shrunk re-plan.
+	Lost []int
 }
 
 func (e *RankLostError) Error() string {
@@ -155,12 +195,54 @@ func (e *RankLostError) Error() string {
 		return fmt.Sprintf("mpi: rank %d: %s with %s timed out after %v (rank lost)",
 			e.Rank, e.Op, peer, e.Wait)
 	}
+	if len(e.Lost) > 0 {
+		return fmt.Sprintf("mpi: rank %d: %s with %s aborted by world teardown (lost ranks %v)",
+			e.Rank, e.Op, peer, e.Lost)
+	}
 	return fmt.Sprintf("mpi: rank %d: %s with %s aborted by world teardown (rank lost)",
 		e.Rank, e.Op, peer)
 }
 
 // Is makes errors.Is(err, ErrRankLost) match.
 func (e *RankLostError) Is(target error) bool { return target == ErrRankLost }
+
+// LostRanks walks err's whole tree — including errors.Join aggregates and
+// fmt.Errorf wrapping — and returns the sorted union of world ranks named
+// lost by any RankLostError inside. Empty means the error carries no loss
+// attribution (a deadline expiry, or a failure unrelated to rank death).
+func LostRanks(err error) []int {
+	set := map[int]struct{}{}
+	collectLost(err, set)
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func collectLost(err error, set map[int]struct{}) {
+	if err == nil {
+		return
+	}
+	var rle *RankLostError
+	if errors.As(err, &rle) {
+		for _, r := range rle.Lost {
+			set[r] = struct{}{}
+		}
+	}
+	switch u := err.(type) {
+	case interface{ Unwrap() []error }:
+		for _, child := range u.Unwrap() {
+			collectLost(child, set)
+		}
+	case interface{ Unwrap() error }:
+		collectLost(u.Unwrap(), set)
+	}
+}
 
 type splitGather struct {
 	entries map[int][2]int // rank -> (color, key)
@@ -238,6 +320,13 @@ func RunWith(n int, opt Options, fn func(c *Comm) error) error {
 					errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, p)
 				}
 				if errs[r] != nil {
+					// A rank failing for its own reasons is a culprit; one
+					// failing with ErrRankLost is an observer of somebody
+					// else's death and must not be blamed. Mark before
+					// tripping so peers woken by the signal see the name.
+					if !errors.Is(errs[r], ErrRankLost) {
+						g.td.markLost(r)
+					}
 					g.td.trip()
 				}
 			}()
@@ -363,7 +452,7 @@ func (c *Comm) sendSlow(ch chan<- message, m message, dst int) error {
 		case ch <- m:
 			return nil
 		default:
-			return &RankLostError{Rank: c.rank, Peer: dst, Op: "send"}
+			return &RankLostError{Rank: c.rank, Peer: dst, Op: "send", Lost: c.group.td.lostRanks()}
 		}
 	case <-timeout:
 		select {
@@ -443,7 +532,7 @@ func (c *Comm) recvSlow(ch <-chan message, src int) (message, error) {
 		case m := <-ch:
 			return m, nil
 		default:
-			return message{}, &RankLostError{Rank: c.rank, Peer: src, Op: "recv"}
+			return message{}, &RankLostError{Rank: c.rank, Peer: src, Op: "recv", Lost: c.group.td.lostRanks()}
 		}
 	case <-timeout:
 		select {

@@ -47,7 +47,7 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 		select {
 		case <-gather.done:
 		default:
-			return nil, &RankLostError{Rank: c.rank, Peer: -1, Op: "split"}
+			return nil, &RankLostError{Rank: c.rank, Peer: -1, Op: "split", Lost: g.td.lostRanks()}
 		}
 	}
 	sub := gather.result[c.rank]

@@ -1,29 +1,38 @@
 package storage
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"distfdk/internal/volume"
 )
 
+// testFP is the plan fingerprint the journal tests stamp and resume with.
+const testFP = "plan1-4x3x12-s4-deadbeef00000000"
+
 func TestJournalRecordAndReopen(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "recon.journal")
 
-	j, err := OpenJournal(path)
+	j, err := OpenJournal(path, testFP)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pairs := [][2]int{{0, 0}, {0, 1}, {1, 0}, {3, 7}}
+	if j.Fingerprint() != testFP {
+		t.Fatalf("Fingerprint = %q, want %q", j.Fingerprint(), testFP)
+	}
+	// (z0, batch) pairs: identity is z0, batch is informational.
+	pairs := [][2]int{{0, 0}, {4, 1}, {12, 0}, {20, 7}}
 	for _, p := range pairs {
 		if err := j.Record(p[0], p[1]); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Idempotent re-record must not duplicate entries.
-	if err := j.Record(0, 1); err != nil {
+	if err := j.Record(4, 1); err != nil {
 		t.Fatal(err)
 	}
 	if j.Len() != len(pairs) {
@@ -33,29 +42,32 @@ func TestJournalRecordAndReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	j2, err := OpenJournal(path)
+	j2, err := OpenJournal(path, testFP)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer j2.Close()
 	for _, p := range pairs {
-		if !j2.Done(p[0], p[1]) {
-			t.Fatalf("(%d,%d) lost across reopen", p[0], p[1])
+		if !j2.Done(p[0]) {
+			t.Fatalf("z0=%d lost across reopen", p[0])
 		}
 	}
-	if j2.Done(9, 9) {
+	if j2.Done(9) {
 		t.Fatal("phantom entry after reopen")
 	}
+	if j2.Dropped() != 0 {
+		t.Fatalf("Dropped = %d on a clean journal", j2.Dropped())
+	}
 	// Appends after a reopen must still land on clean line boundaries.
-	if err := j2.Record(5, 5); err != nil {
+	if err := j2.Record(8, 5); err != nil {
 		t.Fatal(err)
 	}
-	j3, err := OpenJournal(path)
+	j3, err := OpenJournal(path, testFP)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer j3.Close()
-	if !j3.Done(5, 5) || j3.Len() != len(pairs)+1 {
+	if !j3.Done(8) || j3.Len() != len(pairs)+1 {
 		t.Fatalf("post-reopen append lost: Len=%d", j3.Len())
 	}
 }
@@ -67,14 +79,14 @@ func TestJournalTornTailRepair(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "recon.journal")
 
-	j, err := OpenJournal(path)
+	j, err := OpenJournal(path, testFP)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Record(0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Record(0, 1); err != nil {
+	if err := j.Record(4, 1); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Close(); err != nil {
@@ -85,57 +97,182 @@ func TestJournalTornTailRepair(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.WriteString("slab 2 "); err != nil { // torn: no newline
+	if _, err := f.WriteString("slab 8 "); err != nil { // torn: no newline
 		t.Fatal(err)
 	}
 	f.Close()
 
-	j2, err := OpenJournal(path)
+	j2, err := OpenJournal(path, testFP)
 	if err != nil {
 		t.Fatalf("torn tail must repair, not fail: %v", err)
 	}
-	if j2.Len() != 2 || !j2.Done(0, 0) || !j2.Done(0, 1) {
+	if j2.Len() != 2 || !j2.Done(0) || !j2.Done(4) {
 		t.Fatalf("complete prefix lost: Len=%d", j2.Len())
 	}
-	if j2.Done(2, 0) {
+	if j2.Done(8) {
 		t.Fatal("torn entry must not count as done")
 	}
-	if err := j2.Record(2, 0); err != nil {
+	if err := j2.Record(8, 2); err != nil {
 		t.Fatal(err)
 	}
 	j2.Close()
 
-	j3, err := OpenJournal(path)
+	j3, err := OpenJournal(path, testFP)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer j3.Close()
-	if j3.Len() != 3 || !j3.Done(2, 0) {
+	if j3.Len() != 3 || !j3.Done(8) {
 		t.Fatalf("append after repair corrupted the journal: Len=%d", j3.Len())
 	}
 }
 
-// A complete line that is not a journal entry means the file is something
-// else entirely — refuse rather than resume from garbage.
+// A crash during creation can leave a torn header (no complete first
+// line); reopening must rewrite it and start empty.
+func TestJournalTornHeaderRepair(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "recon.journal")
+	if err := os.WriteFile(path, []byte("distfdk-jour"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(path, testFP)
+	if err != nil {
+		t.Fatalf("torn header must repair, not fail: %v", err)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("Len = %d after torn-header repair, want 0", j.Len())
+	}
+	if err := j.Record(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, err := OpenJournal(path, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !j2.Done(0) {
+		t.Fatal("record lost after torn-header repair")
+	}
+}
+
+// A corrupt interior record — complete line, failed checksum — must be
+// dropped with the rest of the journal intact: the slab it named is
+// simply redone. Trusting it could skip a slab whose bytes never landed.
+func TestJournalDropsCorruptInteriorRecord(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "recon.journal")
+
+	j, err := OpenJournal(path, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Record(i*4, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one digit of the middle record's z0 ("slab 4 1 ..."): the line
+	// stays parseable but its checksum no longer matches.
+	mut := strings.Replace(string(data), "slab 4 1", "slab 6 1", 1)
+	if mut == string(data) {
+		t.Fatal("test setup: middle record not found")
+	}
+	if err := os.WriteFile(path, []byte(mut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, testFP)
+	if err != nil {
+		t.Fatalf("corrupt interior record must be dropped, not fatal: %v", err)
+	}
+	defer j2.Close()
+	if j2.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", j2.Dropped())
+	}
+	if j2.Len() != 2 || !j2.Done(0) || !j2.Done(8) {
+		t.Fatalf("intact records lost: Len=%d", j2.Len())
+	}
+	if j2.Done(4) || j2.Done(6) {
+		t.Fatal("corrupt record must not count as done under either key")
+	}
+}
+
+// Resuming against a journal stamped by a different plan must fail with
+// the typed mismatch error, never silently skip wrong slabs.
+func TestJournalPlanMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "recon.journal")
+
+	j, err := OpenJournal(path, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	_, err = OpenJournal(path, "plan1-9x9x9-s9-0123456789abcdef")
+	if err == nil {
+		t.Fatal("expected plan-mismatch error")
+	}
+	if !errors.Is(err, ErrPlanMismatch) {
+		t.Fatalf("error %v does not match ErrPlanMismatch", err)
+	}
+	var pm *PlanMismatchError
+	if !errors.As(err, &pm) {
+		t.Fatalf("error %T is not *PlanMismatchError", err)
+	}
+	if pm.JournalPlan != testFP || pm.RunPlan == testFP {
+		t.Fatalf("mismatch fingerprints wrong: %+v", pm)
+	}
+
+	// The original fingerprint must still resume.
+	j2, err := OpenJournal(path, testFP)
+	if err != nil {
+		t.Fatalf("matching fingerprint refused: %v", err)
+	}
+	j2.Close()
+}
+
+// A complete line that is not a journal header means the file is
+// something else entirely — refuse rather than resume from garbage. A v1
+// journal (bare slab lines, no header) gets a specific refusal.
 func TestJournalRejectsForeignFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "notes.txt")
 	if err := os.WriteFile(path, []byte("hello world\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenJournal(path); err == nil {
-		t.Fatal("expected bad-entry error for a non-journal file")
+	if _, err := OpenJournal(path, testFP); err == nil {
+		t.Fatal("expected bad-header error for a non-journal file")
+	}
+
+	legacy := filepath.Join(dir, "legacy.journal")
+	if err := os.WriteFile(legacy, []byte("slab 0 0\nslab 0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenJournal(legacy, testFP)
+	if err == nil || !strings.Contains(err.Error(), "legacy") {
+		t.Fatalf("expected legacy-format refusal, got %v", err)
 	}
 }
 
 func TestJournalRemove(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "recon.journal")
-	j, err := OpenJournal(path)
+	j, err := OpenJournal(path, testFP)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Record(1, 2); err != nil {
+	if err := j.Record(4, 2); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Remove(); err != nil {
@@ -143,6 +280,15 @@ func TestJournalRemove(t *testing.T) {
 	}
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
 		t.Fatalf("journal still on disk: %v", err)
+	}
+}
+
+func TestJournalRejectsBadFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	for _, fp := range []string{"", "has space", "has\nnewline"} {
+		if _, err := OpenJournal(filepath.Join(dir, "j"), fp); err == nil {
+			t.Fatalf("fingerprint %q must be rejected", fp)
+		}
 	}
 }
 

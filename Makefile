@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check chaos chaos-recover trace-smoke bench bench-json bench-exec experiments examples clean
+.PHONY: all build test race check chaos chaos-recover trace-smoke bench bench-smoke bench-json bench-exec experiments examples clean
 
 all: build test
 
@@ -79,6 +79,16 @@ chaos-recover:
 
 bench:
 	$(GO) test -bench=. -benchmem -timeout 45m ./...
+
+# CI kernel gate: a reduced-size kernel benchmark whose parity validation
+# must pass — recurrence-vs-exact RMSE/max-abs inside the package gates
+# and streaming bit-identical to batch — and whose JSON record lands in
+# artifacts/ for upload. Exits non-zero on any gate violation, so a kernel
+# change that breaks the arithmetic contract fails the build even when
+# every unit test still passes.
+bench-smoke:
+	mkdir -p artifacts
+	$(GO) run ./cmd/fdkbench -smoke -kernel-json artifacts/bench_smoke.json
 
 # Append a machine-readable hot-loop record (GUPS, ns/voxel-update,
 # filter rows/s, alloc stats, git commit) to BENCH_kernel.json.

@@ -34,6 +34,10 @@ func main() {
 	execJSON := flag.String("exec-json", "", "run the scale-out executor benchmark and append the entry to this JSON file (skips -exp)")
 	label := flag.String("label", "", "label stamped into the -kernel-json / -exec-json entry")
 	reps := flag.Int("reps", 3, "repetitions per -kernel-json / -exec-json measurement (best-of)")
+	kernel := flag.String("kernels", "recurrence", "back-projection arithmetic for -kernel-json: recurrence or exact")
+	ringLayout := flag.String("ring-layout", "interleaved", "streaming ring layout for -kernel-json: interleaved or proj-major")
+	parity := flag.Bool("parity", false, "validate the recurrence kernel against the exact kernel (parity gates + streaming==batch identity); exit non-zero on violation")
+	smoke := flag.Bool("smoke", false, "reduced-size -kernel-json run for CI: smaller scenario, 1 rep, parity on")
 	checkTrace := flag.String("check-trace", "", "validate a Chrome trace artifact (exit non-zero on violation) and exit")
 	checkMetrics := flag.String("check-metrics", "", "validate a metrics JSON artifact (exit non-zero on violation) and exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address during the benchmarks")
@@ -59,20 +63,37 @@ func main() {
 		return
 	}
 	if *kernelJSON != "" {
-		entry, err := experiments.RunKernelBench(experiments.KernelBenchOptions{
-			Workers:   *workers,
-			Reps:      *reps,
-			Label:     *label,
-			GitCommit: gitCommit(),
-		})
-		if err == nil {
-			err = experiments.AppendKernelBenchJSON(*kernelJSON, entry)
+		opts := experiments.KernelBenchOptions{
+			Workers:    *workers,
+			Reps:       *reps,
+			Label:      *label,
+			Kernel:     *kernel,
+			RingLayout: *ringLayout,
+			Parity:     *parity,
+			GitCommit:  gitCommit(),
+		}
+		if *smoke {
+			// CI-sized run: small volume, single rep, always gated. The
+			// GUPS number is still recorded but only the gate matters.
+			opts.Div = 16
+			opts.OutN = 32
+			opts.Reps = 1
+			opts.Parity = true
+			if opts.Label == "" {
+				opts.Label = "bench-smoke"
+			}
+		}
+		entry, err := experiments.RunKernelBench(opts)
+		if entry != nil {
+			if aerr := experiments.AppendKernelBenchJSON(*kernelJSON, entry); err == nil {
+				err = aerr
+			}
+			fmt.Print(entry.Summary())
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fdkbench:", err)
 			os.Exit(1)
 		}
-		fmt.Print(entry.Summary())
 		return
 	}
 	if *execJSON != "" {

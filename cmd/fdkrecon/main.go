@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"distfdk/internal/backproject"
 	"distfdk/internal/core"
 	"distfdk/internal/dataset"
 	"distfdk/internal/device"
@@ -68,10 +69,25 @@ func main() {
 		backoff  = flag.Duration("restart-backoff", core.DefaultRestartBackoff, "initial relaunch backoff, doubled per restart (with -journal)")
 		deadline = flag.Duration("deadline", 0, "collective deadline: a lost peer surfaces as a typed error within this bound (0 waits for world teardown)")
 		kills    = flag.String("kill", "", "chaos: comma-separated rank@batch kill schedule, e.g. 1@1,2@0 (recovery drill with -journal)")
+		kernelFl = flag.String("kernels", "recurrence", "back-projection arithmetic: recurrence or exact (the PR-1 escape hatch)")
+		layoutFl = flag.String("ring-layout", "interleaved", "projection ring layout: interleaved or proj-major")
+		fusionFl = flag.String("fusion", "auto", "filter-into-ring fusion: auto, on, off")
 	)
 	flag.Parse()
 
 	win, err := filter.ParseWindow(*window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kern, err := backproject.ParseKernel(*kernelFl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	layout, err := device.ParseRingLayout(*layoutFl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fusion, err := core.ParseFusionMode(*fusionFl)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -187,6 +203,7 @@ func main() {
 			Plan: plan, Source: source,
 			Device: device.New("local", *memMB<<20, *workers),
 			Window: win, Sink: sink, Tracer: tracer, Telemetry: reg,
+			Kernel: kern, RingLayout: layout, Fusion: fusion,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -203,6 +220,7 @@ func main() {
 			Plan: plan, Source: source, Window: win,
 			DeviceMemBytes: *memMB << 20,
 			Telemetry:      run, CollectiveDeadline: *deadline,
+			Kernel: kern, RingLayout: layout, Fusion: fusion,
 		}
 		if *kills != "" {
 			inj, err := buildKillInjector(*kills)

@@ -4,19 +4,37 @@
 // (Np) axes from a ring-buffered device store, plus the conventional
 // batch kernel (RTK-style, Algorithm 1) used as the paper's baseline.
 //
-// Both kernels share the same float32 arithmetic and accumulation order, so
-// a slab-decomposed streaming reconstruction is bit-identical to a
-// monolithic batch reconstruction over the same projections — the
-// equivalence the paper validates against RTK with an RMSE threshold, made
-// exact here because we control both implementations.
+// Two kernel arithmetics are available (see Kernel):
 //
-// The inner loop is structured the way the paper's CUDA kernel exploits
-// texture hardware: per detector row the i-loop is split into a precomputed
-// interior span where the whole 2×2 bilinear footprint is guaranteed
-// resident — inlined loads through a precomputed row-offset table, no
-// border branches, per-row-constant dot-product terms hoisted — with the
-// branchy subPixel border path (CUDA's border-zero texture addressing) only
-// on the clipped edges.
+//   - KernelExact is the PR-1 interior-span kernel: per detector row the
+//     i-loop is split into a precomputed interior span where the whole 2×2
+//     bilinear footprint is guaranteed resident (branch-free inlined loads
+//     through a precomputed row-offset table) with the branchy subPixel
+//     border path only on the clipped edges. Its float32 arithmetic is a
+//     literal transcription of Algorithm 1, bit-identical to the naive
+//     reference.
+//
+//   - KernelRecurrence (the default) restructures the same row into a
+//     linear-fractional recurrence: the homogeneous coordinates (u, v, w)
+//     are affine in the column index, so the three per-sample dot products
+//     are replaced by incremental lane additions re-anchored every
+//     reanchorPeriod columns to bound float32 drift, with one reciprocal
+//     per sample computed from the running values. The row is additionally
+//     clipped to its detector support (columns whose 2×2 footprint lies
+//     entirely outside the readable window contribute exactly +0 and are
+//     skipped), the interior runs 4-wide unrolled, and the (k, j, s) loops
+//     are blocked so a small window of detector rows stays cache-resident
+//     across a voxel sweep.
+//
+// Whatever the kernel, the computed contribution of column i is a pure
+// function of (i, row constants) shared by the interior, border and
+// residency-predicate paths, so a slab-decomposed streaming reconstruction
+// stays bit-identical to a monolithic batch reconstruction over the same
+// projections — the equivalence the paper validates against RTK with an
+// RMSE threshold, made exact here because we control both implementations.
+// Between the two kernels the results differ only by the recurrence's
+// bounded accumulation drift; that parity is tolerance-gated (see the
+// property tests and the kernel benchmark's parity gate).
 package backproject
 
 import (
@@ -30,50 +48,93 @@ import (
 	"distfdk/internal/volume"
 )
 
+// Kernel selects the inner-loop arithmetic of the back-projection kernels.
+type Kernel int
+
+const (
+	// KernelRecurrence is the default cache-blocked, recurrence-driven
+	// kernel: incremental coordinate updates with periodic re-anchoring,
+	// detector-support clipping and a 4-wide unrolled interior.
+	KernelRecurrence Kernel = iota
+	// KernelExact keeps the PR-1 arithmetic: direct per-sample dot-product
+	// evaluation, bit-identical to the literal Algorithm 1 reference. It is
+	// the escape hatch (`kernels=exact`) and the baseline the recurrence
+	// kernel's parity gate measures against.
+	KernelExact
+)
+
+// ParseKernel maps the CLI spelling to a Kernel.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "", "recurrence":
+		return KernelRecurrence, nil
+	case "exact":
+		return KernelExact, nil
+	}
+	return 0, fmt.Errorf("backproject: unknown kernel %q (recurrence, exact)", s)
+}
+
+func (k Kernel) String() string {
+	if k == KernelExact {
+		return "exact"
+	}
+	return "recurrence"
+}
+
 // projAccess provides the kernel's view of projection storage. It unifies
 // the ring-buffered device store (slot = v mod H, Listing 1's devPixel) and
 // a linear stack (slot = v − V0) behind one addressing rule so the two
-// kernels share their sampling code. rowOff caches the storage offset of
-// every readable row, hoisting the modular (ring) or affine (stack) slot
-// arithmetic out of the per-sample path.
+// kernels share their sampling code: the sample (v, s, u) lives at
+// rowOff[v−lo] + s·sStride + u. rowOff caches the storage offset of every
+// readable row, hoisting the modular (ring) or affine (stack) slot
+// arithmetic out of the per-sample path; sStride abstracts over the ring's
+// two layouts (row-interleaved vs projection-major).
 type projAccess struct {
-	data   []float32
-	nu, np int
-	h      int   // ring depth; 0 selects linear addressing
-	v0     int   // first row for linear addressing
-	lo, hi int   // global rows readable [lo, hi)
-	rowOff []int // rowOff[v-lo] = storage offset of global row v
+	data    []float32
+	nu, np  int
+	h       int   // ring depth for buildRowTable (0 = linear stack order)
+	sStride int   // storage distance between projections of one row
+	lo, hi  int   // global rows readable [lo, hi)
+	rowOff  []int // rowOff[v-lo] = storage offset of global row v
+}
+
+// buildRowTable fills rowOff and sStride for a hand-constructed access in
+// the default row-interleaved order: ring addressing (slot = v mod h) when
+// h > 0, linear stack order otherwise. The production constructors below
+// derive the table from the ring/stack directly; this exists for tests
+// that assemble a projAccess literal.
+func (a *projAccess) buildRowTable() {
+	if a.sStride == 0 {
+		a.sStride = a.nu
+	}
+	a.rowOff = make([]int, a.hi-a.lo)
+	for v := a.lo; v < a.hi; v++ {
+		if a.h > 0 {
+			a.rowOff[v-a.lo] = (v % a.h) * a.np * a.nu
+		} else {
+			a.rowOff[v-a.lo] = (v - a.lo) * a.np * a.nu
+		}
+	}
 }
 
 func ringAccess(r *device.ProjRing) projAccess {
 	valid := r.Valid()
-	a := projAccess{data: r.RawData(), nu: r.NU, np: r.NP, h: r.H, lo: valid.Lo, hi: valid.Hi}
-	a.buildRowTable()
+	a := projAccess{data: r.RawData(), nu: r.NU, np: r.NP, lo: valid.Lo, hi: valid.Hi}
+	a.sStride = r.ProjStride()
+	a.rowOff = make([]int, a.hi-a.lo)
+	for v := a.lo; v < a.hi; v++ {
+		a.rowOff[v-a.lo] = r.RowBase(v)
+	}
 	return a
 }
 
 func stackAccess(s *projection.Stack) projAccess {
-	a := projAccess{data: s.Data, nu: s.NU, np: s.NP, v0: s.V0, lo: s.V0, hi: s.V0 + s.NV}
-	a.buildRowTable()
-	return a
-}
-
-// rowBase returns the storage offset of global detector row v.
-func (a *projAccess) rowBase(v int) int {
-	slot := v - a.v0
-	if a.h > 0 {
-		slot = v % a.h
-	}
-	return slot * a.np * a.nu
-}
-
-// buildRowTable precomputes rowBase for every readable row, so the sampling
-// hot paths index a flat table instead of recomputing the modulo per sample.
-func (a *projAccess) buildRowTable() {
+	a := projAccess{data: s.Data, nu: s.NU, np: s.NP, sStride: s.NU, lo: s.V0, hi: s.V0 + s.NV}
 	a.rowOff = make([]int, a.hi-a.lo)
 	for v := a.lo; v < a.hi; v++ {
-		a.rowOff[v-a.lo] = a.rowBase(v)
+		a.rowOff[v-a.lo] = (v - s.V0) * s.NP * s.NU
 	}
+	return a
 }
 
 // subPixel is the bilinear interpolation of Algorithm 1 / Listing 1's
@@ -89,8 +150,8 @@ func (a *projAccess) subPixel(x, y float32, s int) float32 {
 
 	if iu >= 0 && iu+1 < a.nu && iv >= a.lo && iv+1 < a.hi {
 		// Fast path: the whole 2×2 footprint is resident.
-		r0 := a.rowOff[iv-a.lo] + s*a.nu + iu
-		r1 := a.rowOff[iv+1-a.lo] + s*a.nu + iu
+		r0 := a.rowOff[iv-a.lo] + s*a.sStride + iu
+		r1 := a.rowOff[iv+1-a.lo] + s*a.sStride + iu
 		t1 := a.data[r0]*(1-eu) + a.data[r0+1]*eu
 		t2 := a.data[r1]*(1-eu) + a.data[r1+1]*eu
 		return t1*(1-ev) + t2*ev
@@ -100,7 +161,7 @@ func (a *projAccess) subPixel(x, y float32, s int) float32 {
 		if u < 0 || u >= a.nu || v < a.lo || v >= a.hi {
 			return 0
 		}
-		return a.data[a.rowOff[v-a.lo]+s*a.nu+u]
+		return a.data[a.rowOff[v-a.lo]+s*a.sStride+u]
 	}
 	t1 := get(iv, iu)*(1-eu) + get(iv, iu+1)*eu
 	t2 := get(iv+1, iu)*(1-eu) + get(iv+1, iu+1)*eu
@@ -123,48 +184,51 @@ func floor32(x float32) float32 {
 	return float32(math.Floor(float64(x)))
 }
 
+// clipSpan intersects the running interval [lower, upper] with c·i ≤ b
+// (le) or c·i ≥ b (!le); infeasibility is signalled by lower > upper.
+func clipSpan(lower, upper *float64, c, b float64, le bool) {
+	switch {
+	case c == 0:
+		if (le && b < 0) || (!le && b > 0) {
+			*lower, *upper = 1, 0 // infeasible
+		}
+	case (c > 0) == le: // upper bound i ≤ b/c
+		if q := b / c; q < *upper {
+			*upper = q
+		}
+	default: // lower bound i ≥ b/c
+		if q := b / c; q > *lower {
+			*lower = q
+		}
+	}
+}
+
 // interiorSpan returns the half-open column range [i0, i1) of a detector
 // row whose bilinear footprints are guaranteed fully resident, so the inner
 // loop may sample without border checks. The projected coordinates
 // x = (ax·i+xc)/z and y = (ay·i+yc)/z with z = az·i+zc are linear
 // fractional in i; as long as z stays positive across the row the residency
 // conditions multiply through into linear inequalities in i. The bounds are
-// solved in float64 with a half-pixel safety margin, which dwarfs the
-// float32 evaluation error of the kernel's coordinate arithmetic, so every
-// column inside the span satisfies the exact float32 residency predicate.
-// Rows where z could cross zero get an empty span (fully border-handled).
+// solved in float64 with a half-pixel safety margin, which dwarfs both the
+// float32 evaluation error of the kernel's coordinate arithmetic and the
+// recurrence kernel's bounded drift, so every column inside the span
+// satisfies the exact float32 residency predicate. Rows where z could cross
+// zero get an empty span (fully border-handled).
 func (a *projAccess) interiorSpan(ax, xc, ay, yc, az, zc float64, nx int) (int, int) {
 	const d = 0.5
 	if zc <= 0 || az*float64(nx-1)+zc <= 0 {
 		return 0, 0
 	}
 	lower, upper := 0.0, float64(nx-1)
-	// clip intersects the span with c·i ≤ b (le) or c·i ≥ b (!le).
-	clip := func(c, b float64, le bool) {
-		switch {
-		case c == 0:
-			if (le && b < 0) || (!le && b > 0) {
-				lower, upper = 1, 0 // infeasible
-			}
-		case (c > 0) == le: // upper bound i ≤ b/c
-			if q := b / c; q < upper {
-				upper = q
-			}
-		default: // lower bound i ≥ b/c
-			if q := b / c; q > lower {
-				lower = q
-			}
-		}
-	}
 	// x ≥ d and x ≤ nu−1−d keep iu and iu+1 inside the detector width;
 	// y ≥ lo+d and y ≤ hi−1−d keep iv and iv+1 inside the readable rows.
 	tu := float64(a.nu-1) - d
 	tl := float64(a.lo) + d
 	th := float64(a.hi-1) - d
-	clip(ax-d*az, d*zc-xc, false)
-	clip(ax-tu*az, tu*zc-xc, true)
-	clip(ay-tl*az, tl*zc-yc, false)
-	clip(ay-th*az, th*zc-yc, true)
+	clipSpan(&lower, &upper, ax-d*az, d*zc-xc, false)
+	clipSpan(&lower, &upper, ax-tu*az, tu*zc-xc, true)
+	clipSpan(&lower, &upper, ay-tl*az, tl*zc-yc, false)
+	clipSpan(&lower, &upper, ay-th*az, th*zc-yc, true)
 	i0 := int(math.Ceil(lower))
 	i1 := int(math.Floor(upper)) + 1
 	if i0 < 0 {
@@ -179,9 +243,44 @@ func (a *projAccess) interiorSpan(ax, xc, ay, yc, az, zc float64, nx int) (int, 
 	return i0, i1
 }
 
-// interiorResident evaluates, with the kernel's exact float32 arithmetic,
+// supportSpan returns the half-open column range [c0, c1) outside which
+// every sample's 2×2 footprint is guaranteed to lie entirely outside the
+// readable window — its bilinear value is exactly 0 and its accumulated
+// contribution exactly +0, so the kernel may skip those columns without
+// changing a single output bit. The keep conditions (x ≥ −1, x ≤ nu,
+// y ≥ lo−1, y ≤ hi) are solved like interiorSpan but with the half-pixel
+// margin *widening* the kept range, so the analytic clip never discards a
+// column the float32 arithmetic would sample; the caller additionally
+// verifies the clip boundary with the exact per-column predicate. Requires
+// z > 0 across the row (the caller checks, like interiorSpan).
+func (a *projAccess) supportSpan(ax, xc, ay, yc, az, zc float64, nx int) (int, int) {
+	const d = 0.5
+	lower, upper := 0.0, float64(nx-1)
+	tl := -1 - d
+	tu := float64(a.nu) + d
+	yl := float64(a.lo) - 1 - d
+	yh := float64(a.hi) + d
+	clipSpan(&lower, &upper, ax-tl*az, tl*zc-xc, false)
+	clipSpan(&lower, &upper, ax-tu*az, tu*zc-xc, true)
+	clipSpan(&lower, &upper, ay-yl*az, yl*zc-yc, false)
+	clipSpan(&lower, &upper, ay-yh*az, yh*zc-yc, true)
+	c0 := int(math.Ceil(lower))
+	c1 := int(math.Floor(upper)) + 1
+	if c0 < 0 {
+		c0 = 0
+	}
+	if c1 > nx {
+		c1 = nx
+	}
+	if c0 >= c1 {
+		return 0, 0
+	}
+	return c0, c1
+}
+
+// interiorResident evaluates, with the exact kernel's float32 arithmetic,
 // whether column i's 2×2 footprint is fully resident — the same predicate
-// subPixel's fast path tests. accumulateSlab verifies the analytic span's
+// subPixel's fast path tests. The exact kernel verifies the analytic span's
 // endpoints with it, making the branch-free interior loop sound even if the
 // float64 span solve were off by a sample.
 func (a *projAccess) interiorResident(i int, ax, xc, ay, yc, az, zc float32) bool {
@@ -194,39 +293,75 @@ func (a *projAccess) interiorResident(i int, ax, xc, ay, yc, az, zc float32) boo
 	return iu >= 0 && iu+1 < a.nu && iv >= a.lo && iv+1 < a.hi
 }
 
+// kernelCounters accumulates one worker's sample classification: interior
+// (branch-free fast path), border (subPixel with partial footprints),
+// skipped (provably zero contribution, never evaluated) and recurrence
+// re-anchor events. They are summed per launch and reported through the
+// device ledger/telemetry — never per sample.
+type kernelCounters struct {
+	interior, border, skipped, reanchors int64
+}
+
+func (c *kernelCounters) add(o kernelCounters) {
+	c.interior += o.interior
+	c.border += o.border
+	c.skipped += o.skipped
+	c.reanchors += o.reanchors
+}
+
 // accumulateSlab runs the shared inner loop: for every voxel of slab
 // (global Z offset slab.Z0, Listing 1's offset_volume_z) it accumulates the
 // distance-weighted bilinear samples of all np projections. Slices are
 // distributed over the device's worker pool; each worker owns whole k
-// slices so no synchronisation is needed on the output.
-func accumulateSlab(dev *device.Device, a projAccess, mats []geometry.Mat34x4, slab *volume.Volume) error {
+// slices so no synchronisation is needed on the output, and each worker's
+// per-voxel accumulation order is ascending in s whatever the kernel's
+// blocking, so the result is independent of the worker count.
+func accumulateSlab(dev *device.Device, a projAccess, mats []geometry.Mat34x4, slab *volume.Volume, kernel Kernel) error {
 	if len(mats) != a.np {
 		return fmt.Errorf("backproject: %d matrices for %d projections", len(mats), a.np)
+	}
+	updates := int64(slab.Voxels()) * int64(a.np)
+	if updates == 0 {
+		// Zero-voxel slabs (trailing batches of uneven plans) still count
+		// as a launch, but spawn no workers over the empty range.
+		dev.RecordKernel(0)
+		return nil
 	}
 	workers := dev.WorkerCount()
 	if workers > slab.NZ {
 		workers = slab.NZ
 	}
+	counters := make([]kernelCounters, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			a.accumulateSlices(w, workers, mats, slab)
+			if kernel == KernelExact {
+				a.accumulateSlicesExact(w, workers, mats, slab, &counters[w])
+			} else {
+				a.accumulateSlicesRec(w, workers, mats, slab, &counters[w])
+			}
 		}(w)
 	}
 	wg.Wait()
-	dev.RecordKernel(int64(slab.Voxels()) * int64(a.np))
+	var total kernelCounters
+	for w := range counters {
+		total.add(counters[w])
+	}
+	dev.RecordKernel(updates)
+	dev.RecordKernelSamples(total.interior, total.border, total.skipped, total.reanchors)
 	return nil
 }
 
-// accumulateSlices back-projects the k slices owned by worker w. Per
-// detector row (fixed j, k, s) the i-loop runs in three pieces: a clipped
-// left border through subPixel, the branch-free interior span, and a
-// clipped right border. The three float32 dot products of Equation 8 are
-// reduced to one multiply-add each by hoisting their per-row-constant
-// terms; the row-offset table replaces per-sample slot arithmetic.
-func (a *projAccess) accumulateSlices(w, workers int, mats []geometry.Mat34x4, slab *volume.Volume) {
+// accumulateSlicesExact back-projects the k slices owned by worker w with
+// the PR-1 arithmetic. Per detector row (fixed j, k, s) the i-loop runs in
+// three pieces: a clipped left border through subPixel, the branch-free
+// interior span, and a clipped right border. The three float32 dot products
+// of Equation 8 are reduced to one multiply-add each by hoisting their
+// per-row-constant terms; the row-offset table replaces per-sample slot
+// arithmetic.
+func (a *projAccess) accumulateSlicesExact(w, workers int, mats []geometry.Mat34x4, slab *volume.Volume, ctr *kernelCounters) {
 	data := a.data
 	rowOff := a.rowOff
 	lo := a.lo
@@ -253,7 +388,7 @@ func (a *projAccess) accumulateSlices(w, workers int, mats []geometry.Mat34x4, s
 				for i0 < i1 && !a.interiorResident(i1-1, ax, xc, ay, yc, az, zc) {
 					i1--
 				}
-				sBase := s * a.nu
+				sBase := s * a.sStride
 				// One reciprocal replaces the three per-sample divides
 				// (x/z, y/z, 1/z²); every path — border, interior,
 				// residency predicate, and the test reference — shares
@@ -290,6 +425,8 @@ func (a *projAccess) accumulateSlices(w, workers int, mats []geometry.Mat34x4, s
 					y := (ay*fi + yc) * rz
 					out[i] += rz * rz * a.subPixel(x, y, s)
 				}
+				ctr.interior += int64(i1 - i0)
+				ctr.border += int64(nx - (i1 - i0))
 			}
 		}
 	}
@@ -297,27 +434,38 @@ func (a *projAccess) accumulateSlices(w, workers int, mats []geometry.Mat34x4, s
 
 // Streaming is the paper's kernel: it back-projects the ring-resident
 // sub-projections (all np angles of the rank's share, detector rows limited
-// to the slab's ComputeAB range) into the slab. required is the row range
-// the slab needs (Equation 4); the call fails fast if the ring does not
-// hold it, catching slab-schedule bugs instead of silently reconstructing
-// from missing data.
+// to the slab's ComputeAB range) into the slab with the default kernel.
+// required is the row range the slab needs (Equation 4); the call fails
+// fast if the ring does not hold it, catching slab-schedule bugs instead of
+// silently reconstructing from missing data.
 func Streaming(dev *device.Device, ring *device.ProjRing, mats []geometry.Mat34x4, slab *volume.Volume, required geometry.RowRange) error {
+	return StreamingKernel(dev, ring, mats, slab, required, KernelRecurrence)
+}
+
+// StreamingKernel is Streaming with an explicit kernel selection.
+func StreamingKernel(dev *device.Device, ring *device.ProjRing, mats []geometry.Mat34x4, slab *volume.Volume, required geometry.RowRange, kernel Kernel) error {
 	if !required.IsEmpty() {
 		valid := ring.Valid()
 		if required.Lo < valid.Lo || required.Hi > valid.Hi {
 			return fmt.Errorf("backproject: slab needs rows %v but ring holds %v", required, valid)
 		}
 	}
-	return accumulateSlab(dev, ringAccess(ring), mats, slab)
+	return accumulateSlab(dev, ringAccess(ring), mats, slab, kernel)
 }
 
 // Batch is the conventional voxel-driven kernel of Algorithm 1 as shipped
 // by RTK: the projections (full detector height) live contiguously in
-// device memory and the whole target volume is updated in one launch. It
-// is the reference for the kernel-parity comparison (Table 5's GUPS
-// columns) and the building block of the batch-decomposition baseline.
+// device memory and the whole target volume is updated in one launch,
+// with the default kernel. It is the reference for the kernel-parity
+// comparison (Table 5's GUPS columns) and the building block of the
+// batch-decomposition baseline.
 func Batch(dev *device.Device, stack *projection.Stack, mats []geometry.Mat34x4, vol *volume.Volume) error {
-	return accumulateSlab(dev, stackAccess(stack), mats, vol)
+	return BatchKernel(dev, stack, mats, vol, KernelRecurrence)
+}
+
+// BatchKernel is Batch with an explicit kernel selection.
+func BatchKernel(dev *device.Device, stack *projection.Stack, mats []geometry.Mat34x4, vol *volume.Volume, kernel Kernel) error {
+	return accumulateSlab(dev, stackAccess(stack), mats, vol, kernel)
 }
 
 // FLOPPerUpdate is the floating-point work of one voxel×projection update

@@ -170,8 +170,10 @@ func naive(sys *geometry.System, stack *projection.Stack, vol *volume.Volume) {
 	}
 }
 
-// The Batch kernel must reproduce the literal Algorithm 1 reference
+// The exact Batch kernel must reproduce the literal Algorithm 1 reference
 // bit-for-bit: same float32 arithmetic, same per-voxel accumulation order.
+// The recurrence kernel is tolerance-gated against the same reference (its
+// re-anchored incremental coordinates differ by bounded float32 drift).
 func TestBatchMatchesNaiveAlgorithm1(t *testing.T) {
 	sys := testSystem()
 	sys.SigmaU, sys.SigmaV, sys.SigmaCOR = 1.25, -0.5, 0.3
@@ -182,7 +184,7 @@ func TestBatchMatchesNaiveAlgorithm1(t *testing.T) {
 	naive(sys, stack, want)
 
 	got, _ := volume.New(sys.NX, sys.NY, sys.NZ)
-	if err := Batch(dev, stack, kernelMats(sys), got); err != nil {
+	if err := BatchKernel(dev, stack, kernelMats(sys), got, KernelExact); err != nil {
 		t.Fatal(err)
 	}
 	for i := range want.Data {
@@ -192,6 +194,30 @@ func TestBatchMatchesNaiveAlgorithm1(t *testing.T) {
 	}
 	if l := dev.Snapshot(); l.KernelLaunches != 1 || l.VoxelUpdates != int64(got.Voxels())*int64(sys.NP) {
 		t.Fatalf("kernel ledger wrong: %+v", l)
+	}
+	if l := dev.Snapshot(); l.InteriorSamples+l.BorderSamples+l.SkippedSamples != l.VoxelUpdates {
+		t.Fatalf("sample classification does not partition the updates: %+v", l)
+	}
+
+	rec, _ := volume.New(sys.NX, sys.NY, sys.NZ)
+	if err := Batch(dev, stack, kernelMats(sys), rec); err != nil {
+		t.Fatal(err)
+	}
+	assertWithinParityGate(t, want, rec)
+}
+
+// parity gate for recurrence-vs-exact comparisons: bounded float32 drift,
+// far below any physical signal but non-zero. Shared with the benchmark's
+// parity validation via ParityGateRMSE/ParityGateMaxAbs.
+func assertWithinParityGate(t *testing.T, want, got *volume.Volume) {
+	t.Helper()
+	stats, err := volume.Compare(want, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RMSE > ParityGateRMSE || stats.MaxAbs > ParityGateMaxAbs {
+		t.Fatalf("recurrence kernel outside parity gate: %+v (gate rmse %g maxabs %g)",
+			stats, ParityGateRMSE, ParityGateMaxAbs)
 	}
 }
 

@@ -60,13 +60,16 @@ func TestZeroWidthInteriorSpan(t *testing.T) {
 	}
 
 	// End to end: a one-row detector forces the border path everywhere.
+	// The exact kernel must match the reference bit-for-bit; the
+	// recurrence kernel stays inside the parity gate on this all-border,
+	// heavily-clipped geometry.
 	sys := testSystem()
 	sys.NV = 1
 	stack := randomStack(sys, 31)
 	want, _ := volume.New(sys.NX, sys.NY, sys.NZ)
 	naive(sys, stack, want)
 	got, _ := volume.New(sys.NX, sys.NY, sys.NZ)
-	if err := Batch(device.New("border", 0, 2), stack, kernelMats(sys), got); err != nil {
+	if err := BatchKernel(device.New("border", 0, 2), stack, kernelMats(sys), got, KernelExact); err != nil {
 		t.Fatal(err)
 	}
 	for i := range want.Data {
@@ -74,11 +77,18 @@ func TestZeroWidthInteriorSpan(t *testing.T) {
 			t.Fatalf("voxel %d: border-only batch %g != naive %g", i, got.Data[i], want.Data[i])
 		}
 	}
+	rec, _ := volume.New(sys.NX, sys.NY, sys.NZ)
+	if err := Batch(device.New("border-rec", 0, 2), stack, kernelMats(sys), rec); err != nil {
+		t.Fatal(err)
+	}
+	assertWithinParityGate(t, want, rec)
 }
 
 // Heavily off-centre detectors clip the interior span asymmetrically; the
 // stitched border/interior/border row must stay bit-identical to the naive
-// per-sample reference, and streaming must stay bit-identical to batch.
+// per-sample reference under the exact kernel, the recurrence kernel must
+// stay inside the parity gate, and streaming must stay bit-identical to
+// batch under the (recurrence) default.
 func TestClippedSpanParity(t *testing.T) {
 	for _, sigma := range []struct{ u, v float64 }{{12, 0}, {0, 15}, {-20, 18}, {30, -25}} {
 		sys := testSystem()
@@ -88,15 +98,20 @@ func TestClippedSpanParity(t *testing.T) {
 
 		want, _ := volume.New(sys.NX, sys.NY, sys.NZ)
 		naive(sys, stack, want)
+		exact, _ := volume.New(sys.NX, sys.NY, sys.NZ)
+		if err := BatchKernel(device.New("clip-exact", 0, 3), stack, mats, exact, KernelExact); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if want.Data[i] != exact.Data[i] {
+				t.Fatalf("sigma %+v: voxel %d: batch %g != naive %g", sigma, i, exact.Data[i], want.Data[i])
+			}
+		}
 		batch, _ := volume.New(sys.NX, sys.NY, sys.NZ)
 		if err := Batch(device.New("clip", 0, 3), stack, mats, batch); err != nil {
 			t.Fatal(err)
 		}
-		for i := range want.Data {
-			if want.Data[i] != batch.Data[i] {
-				t.Fatalf("sigma %+v: voxel %d: batch %g != naive %g", sigma, i, batch.Data[i], want.Data[i])
-			}
-		}
+		assertWithinParityGate(t, want, batch)
 
 		dev := device.New("clip-stream", 0, 2)
 		ring, err := device.NewProjRing(dev, sys.NU, sys.NP, sys.NV)

@@ -1,0 +1,506 @@
+package backproject
+
+import (
+	"math"
+	"unsafe"
+
+	"distfdk/internal/geometry"
+	"distfdk/internal/volume"
+)
+
+// The recurrence kernel exploits that the homogeneous detector coordinates
+// of one output row are affine in the column index i:
+//
+//	u(i) = ax·i + xc,  v(i) = ay·i + yc,  w(i) = az·i + zc
+//
+// so instead of re-evaluating three multiply-adds per sample it steps four
+// running lanes by the exact float32 constants 4·ax, 4·ay, 4·az (a
+// power-of-two scaling, so the step itself carries no rounding error).
+// Accumulated addition drift is bounded by re-anchoring every
+// reanchorPeriod columns: the lanes are recomputed from the direct
+// expression at fixed absolute columns i ≡ 0 (mod reanchorPeriod). Anchors
+// at *absolute* positions — never at span or slab boundaries — make the
+// recurrence value at column i a pure function of (i, row constants):
+// whatever decomposition, worker count or blocking produced the row, every
+// path (interior fast path, border path, residency predicate, support
+// probe) sees identical float32 coordinates, which is what keeps
+// streaming ≡ batch ≡ resume bit-identical under this kernel.
+
+// reanchorPeriod is the recurrence re-anchor interval K: lanes are
+// recomputed from the direct affine expression at columns i ≡ 0 (mod K).
+// Must be a power of two and a multiple of the 4-wide unroll. At K = 16
+// the worst-case drift is ≤ 3 lane additions ≈ 3·ε·max|u| — orders of
+// magnitude below the half-pixel margin the span solver guarantees and the
+// quarter-pixel slack of the fast residency predicates — while the
+// catch-up loop that reproduces a lane value at an arbitrary column (span
+// starts, border probes) stays ≤ 3 iterations.
+const reanchorPeriod = 32
+
+// predicateSlack is the margin (in detector pixels) by which the *direct*
+// float32 evaluation must clear a residency/zero boundary for the fast
+// predicates below to decide without consulting the recurrence arithmetic.
+// It dominates the sum of the direct evaluation's rounding and the
+// recurrence drift (both ≤ ~1e-3 px at detector-scale coordinates), so a
+// slack-clearing direct value proves the recurrence value is on the same
+// side of the boundary.
+const predicateSlack = 0.25
+
+// ParityGateRMSE and ParityGateMaxAbs bound the volume difference between
+// the recurrence and exact kernels on identical inputs, for data of unit
+// scale. The recurrence's coordinate drift before a re-anchor is ≤ ~18
+// additions' rounding ≈ 1e-6·|u| ≈ 5e-5 detector pixels at test-geometry
+// coordinate magnitudes; white-noise projections (the worst case — O(1)
+// bilinear gradient per pixel) turn that into ~2e-5 RMSE per unit of data
+// scale. The gates sit 2–3× above every measured geometry while remaining
+// three orders of magnitude below physical signal. The kernel benchmark
+// and the property tests both enforce them.
+const (
+	ParityGateRMSE   = 5e-5
+	ParityGateMaxAbs = 5e-4
+)
+
+// projBlock is the s-blocking factor: the (k, j) voxel sweep is repeated
+// per block of projBlock projections so the detector-row window those
+// projections touch stays cache-resident across the sweep instead of
+// streaming the whole ring per output row. Because per-voxel accumulation
+// still visits s in ascending order across blocks, the result is
+// bit-identical for every block size.
+const projBlock = 16
+
+// zBlock tiles the k (slice) loop inside one worker's stride so the
+// detector rows a group of adjacent slices projects to stay hot while the
+// j sweep revisits them. Like projBlock it only reorders independent
+// output rows, never the per-voxel s order.
+const zBlock = 8
+
+// recCoords returns the recurrence-evaluated homogeneous coordinates at
+// absolute column i — bit-for-bit the values the lane walker holds when it
+// reaches i: anchor at b = i&^(K−1) offset by the lane index, then
+// (i−b)/4 exact-step additions. Border columns, residency predicates and
+// the drift property test all evaluate through here so every consumer of
+// "the coordinate at column i" agrees to the last ulp.
+func recCoords(i int, ax, ay, az, xc, yc, zc float32) (u, v, w float32) {
+	b := i &^ (reanchorPeriod - 1)
+	l := b | (i & 1)
+	fl := float32(l)
+	u = ax*fl + xc
+	v = ay*fl + yc
+	w = az*fl + zc
+	ax2, ay2, az2 := ax*2, ay*2, az*2
+	for t := (i - b) >> 1; t > 0; t-- {
+		u += ax2
+		v += ay2
+		w += az2
+	}
+	return u, v, w
+}
+
+// interiorResidentRec is interiorResident under the recurrence arithmetic:
+// it verifies with the exact float32 values the kernel will use that column
+// i's 2×2 footprint is fully resident.
+func (a *projAccess) interiorResidentRec(i int, ax, ay, az, xc, yc, zc float32) bool {
+	u, v, w := recCoords(i, ax, ay, az, xc, yc, zc)
+	rz := 1 / w
+	x := u * rz
+	y := v * rz
+	iu := int(floor32(x))
+	iv := int(floor32(y))
+	return iu >= 0 && iu+1 < a.nu && iv >= a.lo && iv+1 < a.hi
+}
+
+// interiorResidentFast decides residency for the recurrence kernel without
+// the lane catch-up: a direct float32 evaluation clearing every boundary by
+// predicateSlack proves the recurrence value is resident too. On the rare
+// boundary-grazing column it falls back to the exact recurrence predicate.
+func (a *projAccess) interiorResidentFast(i int, ax, ay, az, xc, yc, zc float32) bool {
+	fi := float32(i)
+	w := az*fi + zc
+	if w <= 0 {
+		return a.interiorResidentRec(i, ax, ay, az, xc, yc, zc)
+	}
+	rz := 1 / w
+	x := (ax*fi + xc) * rz
+	y := (ay*fi + yc) * rz
+	const d = predicateSlack
+	if x >= d && x <= float32(a.nu-1)-d && y >= float32(a.lo)+d && y <= float32(a.hi-1)-d {
+		return true
+	}
+	return a.interiorResidentRec(i, ax, ay, az, xc, yc, zc)
+}
+
+// zeroContribRec reports whether column i's contribution is provably
+// exactly +0 under the recurrence arithmetic: all four bilinear neighbours
+// lie outside the readable window (texture-border zeros) and the distance
+// weight rz² is finite, so rz²·0 = +0 and skipping the column leaves the
+// accumulator bit-identical (out[i] is never −0: it starts +0 and
+// round-to-nearest addition cannot produce −0 from a +0 running sum).
+func (a *projAccess) zeroContribRec(i int, ax, ay, az, xc, yc, zc float32) bool {
+	u, v, w := recCoords(i, ax, ay, az, xc, yc, zc)
+	rz := 1 / w
+	if !(rz*rz < math.MaxFloat32) {
+		return false // overflowing weight: evaluate rather than reason about Inf·0
+	}
+	x := u * rz
+	y := v * rz
+	iu := int(floor32(x))
+	iv := int(floor32(y))
+	return iu < -1 || iu >= a.nu || iv < a.lo-1 || iv >= a.hi
+}
+
+// zeroContribFast is zeroContribRec's cheap form: a direct float32
+// evaluation past a zero boundary by predicateSlack proves the recurrence
+// value is past it too; boundary-grazing columns fall back to the exact
+// recurrence predicate.
+func (a *projAccess) zeroContribFast(i int, ax, ay, az, xc, yc, zc float32) bool {
+	fi := float32(i)
+	w := az*fi + zc
+	if w <= 0 {
+		return a.zeroContribRec(i, ax, ay, az, xc, yc, zc)
+	}
+	rz := 1 / w
+	// Generous headroom below MaxFloat32: the recurrence rz² differs from
+	// this direct one by a relative drift ~1e-7, so requiring the direct
+	// weight comfortably finite proves the recurrence weight finite too.
+	if !(rz*rz < 1e38) {
+		return false // evaluating a column is always safe; skipping needs proof
+	}
+	x := (ax*fi + xc) * rz
+	y := (ay*fi + yc) * rz
+	const d = predicateSlack
+	if x <= -1-d || x >= float32(a.nu)+d || y <= float32(a.lo-1)-d || y >= float32(a.hi)+d {
+		return true
+	}
+	return a.zeroContribRec(i, ax, ay, az, xc, yc, zc)
+}
+
+// accumulateSlicesRec back-projects the k slices owned by worker w with the
+// recurrence kernel. Loop order is s-block → k-tile → k → j → s, i.e. the
+// voxel sweep is repeated per small group of projections (cache blocking);
+// per (row, projection) the column loop is clipped to its detector support
+// and split into border strips around a 4-wide unrolled interior.
+func (a *projAccess) accumulateSlicesRec(w, workers int, mats []geometry.Mat34x4, slab *volume.Volume, ctr *kernelCounters) {
+	nx := slab.NX
+	for sb := 0; sb < a.np; sb += projBlock {
+		sEnd := sb + projBlock
+		if sEnd > a.np {
+			sEnd = a.np
+		}
+		for kt := w; kt < slab.NZ; kt += workers * zBlock {
+			kEnd := kt + workers*zBlock
+			if kEnd > slab.NZ {
+				kEnd = slab.NZ
+			}
+			for k := kt; k < kEnd; k += workers {
+				kf := float32(slab.Z0 + k)
+				for j := 0; j < slab.NY; j++ {
+					jf := float32(j)
+					out := slab.Data[(k*slab.NY+j)*nx : (k*slab.NY+j+1)*nx]
+					for s := sb; s < sEnd; s++ {
+						m := &mats[s]
+						ax, ay, az := m.R0[0], m.R1[0], m.R2[0]
+						xc := m.R0[1]*jf + m.R0[2]*kf + m.R0[3]
+						yc := m.R1[1]*jf + m.R1[2]*kf + m.R1[3]
+						zc := m.R2[1]*jf + m.R2[2]*kf + m.R2[3]
+						a.rowRec(out, s, ax, ay, az, xc, yc, zc, nx, ctr)
+					}
+				}
+			}
+		}
+	}
+}
+
+// rowRec processes one (output row, projection) pair: solve the support and
+// interior spans analytically, verify their endpoints with the exact
+// recurrence predicates, then walk the supported columns in 4-wide lane
+// groups.
+func (a *projAccess) rowRec(out []float32, s int, ax, ay, az, xc, yc, zc float32, nx int, ctr *kernelCounters) {
+	axd, ayd, azd := float64(ax), float64(ay), float64(az)
+	xcd, ycd, zcd := float64(xc), float64(yc), float64(zc)
+	zOK := zcd > 0 && azd*float64(nx-1)+zcd > 0
+	var c0, i0, i1, c1 int
+	if zOK {
+		// Endpoint pre-reject: with w > 0 across the row, x(i) and y(i)
+		// are monotonic (linear-fractional, no pole), so the row's
+		// coordinate range is spanned by its endpoints. Both endpoints
+		// past the same supportSpan boundary means the support solve
+		// comes out empty — declare the row provably zero without
+		// running it. The boundaries are supportSpan's own, so the
+		// decision is identical to the full solve's and depends only on
+		// the row constants (any decomposition skips the same rows).
+		// Both w's are positive, so the ratio tests u/w < B multiply
+		// through to u < B·w — no divides on this always-taken path.
+		w0 := zcd
+		wn := azd*float64(nx-1) + zcd
+		ux0, uxn := xcd, axd*float64(nx-1)+xcd
+		uy0, uyn := ycd, ayd*float64(nx-1)+ycd
+		const pd = 0.5
+		xloB := -1 - pd
+		xhiB := float64(a.nu) + pd
+		yloB := float64(a.lo) - 1 - pd
+		yhiB := float64(a.hi) + pd
+		if (ux0 < xloB*w0 && uxn < xloB*wn) || (ux0 > xhiB*w0 && uxn > xhiB*wn) ||
+			(uy0 < yloB*w0 && uyn < yloB*wn) || (uy0 > yhiB*w0 && uyn > yhiB*wn) {
+			ctr.skipped += int64(nx)
+			return
+		}
+		c0, c1 = a.supportSpan(axd, xcd, ayd, ycd, azd, zcd, nx)
+		i0, i1 = a.interiorSpan(axd, xcd, ayd, ycd, azd, zcd, nx)
+		// The analytic solve carries a half-pixel margin; the float32
+		// predicates pin the final boundaries so the fast paths stay
+		// sound even if the float64 clip were off by a column.
+		for i0 < i1 && !a.interiorResidentFast(i0, ax, ay, az, xc, yc, zc) {
+			i0++
+		}
+		for i0 < i1 && !a.interiorResidentFast(i1-1, ax, ay, az, xc, yc, zc) {
+			i1--
+		}
+		if c0 < c1 {
+			for c0 > 0 && !a.zeroContribFast(c0-1, ax, ay, az, xc, yc, zc) {
+				c0--
+			}
+			for c1 < nx && !a.zeroContribFast(c1, ax, ay, az, xc, yc, zc) {
+				c1++
+			}
+		}
+		// Support must contain the interior (it does analytically; keep
+		// it true defensively after the endpoint walks).
+		if i0 < i1 {
+			if c0 > i0 {
+				c0 = i0
+			}
+			if c1 < i1 {
+				c1 = i1
+			}
+		}
+	} else {
+		// z may cross zero: no skipping, no interior — evaluate every
+		// column through the border path with the recurrence values.
+		c0, c1 = 0, nx
+		i0, i1 = 0, 0
+	}
+	ctr.interior += int64(i1 - i0)
+	ctr.border += int64((c1 - c0) - (i1 - i0))
+	ctr.skipped += int64(nx - (c1 - c0))
+	if c0 >= c1 {
+		return
+	}
+	// The hot loops live in their own functions on purpose: rowRec's
+	// span-solving locals plus the loop state of a fused gather exceed
+	// the register file, and keeping them in one frame makes the
+	// allocator spill lane values and loop counters to the stack on
+	// every iteration. Dedicated functions give each loop its own
+	// allocation with a small live set.
+	if i0 < i1 {
+		// Pair-aligned fully-interior core; the ≤1 unaligned column on
+		// each side joins the border ranges below (the guarded gather is
+		// bit-identical on resident columns — the guards only decide
+		// whether a load happens, never its value).
+		f0 := (i0 + 1) &^ 1
+		f1 := i1 &^ 1
+		if f0 < f1 {
+			ctr.reanchors += a.fusedInterior(out, s, f0, f1, ax, ay, az, xc, yc, zc)
+		} else {
+			f0, f1 = i0, i0
+		}
+		ctr.reanchors += a.guardedCols(out, s, c0, f0, ax, ay, az, xc, yc, zc)
+		ctr.reanchors += a.guardedCols(out, s, f1, c1, ax, ay, az, xc, yc, zc)
+	} else {
+		ctr.reanchors += a.guardedCols(out, s, c0, c1, ax, ay, az, xc, yc, zc)
+	}
+}
+
+// fusedInterior back-projects the pair-aligned, fully-interior columns
+// [f0,f1): one pass per anchor-aligned segment of K columns, with divides,
+// unguarded 2×2 gathers and accumulates fused — one store per sample. The
+// two lanes start from a direct evaluation at each anchor and advance by
+// the exact power-of-two-scaled steps, bit-for-bit what recCoords defines,
+// so the coordinate at column i stays a pure function of i regardless of
+// decomposition or blocking. Two lanes, not four: the six lane values plus
+// the step constants and blend temporaries are what fits the sixteen
+// vector registers without per-group spills.
+func (a *projAccess) fusedInterior(out []float32, s, f0, f1 int, ax, ay, az, xc, yc, zc float32) int64 {
+	data := a.data[s*a.sStride:]
+	rowOff := a.rowOff
+	lo := a.lo
+	// The gather runs on raw pointers: interiorSpan plus the float32
+	// residency walks in rowRec prove iu ∈ [0, nu−2] and iv ∈ [lo, hi−2]
+	// for every column handed to this function (TestInteriorSpanSound
+	// fuzzes that proof), so the bounds checks the compiler cannot see
+	// past — three slice constructions and a table load per sample —
+	// are discharged analytically instead of per element.
+	dp := unsafe.Pointer(unsafe.SliceData(data))
+	rp := unsafe.Pointer(unsafe.SliceData(rowOff))
+	op := unsafe.Pointer(unsafe.SliceData(out))
+	ax2, ay2, az2 := ax*2, ay*2, az*2
+	segs := int64(0)
+	for b := f0 &^ (reanchorPeriod - 1); b < f1; b += reanchorPeriod {
+		seg1 := b + reanchorPeriod
+		if seg1 > f1 {
+			seg1 = f1
+		}
+		segs++
+		fb0 := float32(b)
+		u0, v0, w0 := ax*fb0+xc, ay*fb0+yc, az*fb0+zc
+		fb1 := float32(b + 1)
+		u1, v1, w1 := ax*fb1+xc, ay*fb1+yc, az*fb1+zc
+		// Pairs before f0 only advance the lanes — each addition
+		// rounds, so skipping them would change the values — keeping
+		// the working loop below free of range tests.
+		base := b
+		for ; base < f0; base += 2 {
+			u0 += ax2
+			v0 += ay2
+			w0 += az2
+			u1 += ax2
+			v1 += ay2
+			w1 += az2
+		}
+		for ; base < seg1; base += 2 {
+			{
+				rz0 := 1 / w0
+				rz1 := 1 / w1
+				o := (*[2]float32)(unsafe.Add(op, uintptr(base)*4))
+
+				x := u0 * rz0
+				y := v0 * rz0
+				iu := int(x)
+				iv := int(y)
+				eu := x - float32(iu)
+				ev := y - float32(iv)
+				r0 := unsafe.Add(dp, uintptr(*(*int)(unsafe.Add(rp, uintptr(iv-lo)*8))+iu)*4)
+				r1 := unsafe.Add(dp, uintptr(*(*int)(unsafe.Add(rp, uintptr(iv-lo+1)*8))+iu)*4)
+				p00 := *(*float32)(r0)
+				p01 := *(*float32)(unsafe.Add(r0, 4))
+				p10 := *(*float32)(r1)
+				p11 := *(*float32)(unsafe.Add(r1, 4))
+				t1 := p00 + eu*(p01-p00)
+				t2 := p10 + eu*(p11-p10)
+				o[0] += rz0 * rz0 * (t1 + ev*(t2-t1))
+
+				x = u1 * rz1
+				y = v1 * rz1
+				iu = int(x)
+				iv = int(y)
+				eu = x - float32(iu)
+				ev = y - float32(iv)
+				r0 = unsafe.Add(dp, uintptr(*(*int)(unsafe.Add(rp, uintptr(iv-lo)*8))+iu)*4)
+				r1 = unsafe.Add(dp, uintptr(*(*int)(unsafe.Add(rp, uintptr(iv-lo+1)*8))+iu)*4)
+				p00 = *(*float32)(r0)
+				p01 = *(*float32)(unsafe.Add(r0, 4))
+				p10 = *(*float32)(r1)
+				p11 = *(*float32)(unsafe.Add(r1, 4))
+				t1 = p00 + eu*(p01-p00)
+				t2 = p10 + eu*(p11-p10)
+				o[1] += rz1 * rz1 * (t1 + ev*(t2-t1))
+			}
+			u0 += ax2
+			v0 += ay2
+			w0 += az2
+			u1 += ax2
+			v1 += ay2
+			w1 += az2
+		}
+	}
+	return segs
+}
+
+// guardedCols back-projects columns [g0,g1) through the texture-border
+// gather: every neighbour access is guarded against the readable window,
+// exactly the exact kernel's border semantics. Coordinates come from the
+// same per-segment lane walk as the fused path (pass 1 parks x, y and the
+// weight rz² in small stack arrays so the replay loop's live set stays
+// tiny), so a resident column computes bit-identically to fusedInterior.
+// floor32, not int truncation, because border coordinates may be negative.
+// Returns the number of re-anchor events.
+func (a *projAccess) guardedCols(out []float32, s, g0, g1 int, ax, ay, az, xc, yc, zc float32) int64 {
+	if g0 >= g1 {
+		return 0
+	}
+	data := a.data[s*a.sStride:]
+	rowOff := a.rowOff
+	lo := a.lo
+	hi := a.hi
+	nuRow := a.nu
+	// The guards below establish exactly the bounds the compiler would
+	// re-check on every slice access (iv ∈ [lo,hi) before the row-table
+	// load, iu ∈ [0,nu) before each pixel load), so the loads themselves
+	// run on raw pointers.
+	dp := unsafe.Pointer(unsafe.SliceData(data))
+	rp := unsafe.Pointer(unsafe.SliceData(rowOff))
+	ax2, ay2, az2 := ax*2, ay*2, az*2
+	var xs, ys, w2s [reanchorPeriod]float32
+	segs := int64(0)
+	for b := g0 &^ (reanchorPeriod - 1); b < g1; b += reanchorPeriod {
+		seg0 := b
+		if seg0 < g0 {
+			seg0 = g0
+		}
+		seg1 := b + reanchorPeriod
+		if seg1 > g1 {
+			seg1 = g1
+		}
+		segs++
+		fb0 := float32(b)
+		u0, v0, w0 := ax*fb0+xc, ay*fb0+yc, az*fb0+zc
+		fb1 := float32(b + 1)
+		u1, v1, w1 := ax*fb1+xc, ay*fb1+yc, az*fb1+zc
+		base := b
+		for ; base+2 <= seg0; base += 2 {
+			u0 += ax2
+			v0 += ay2
+			w0 += az2
+			u1 += ax2
+			v1 += ay2
+			w1 += az2
+		}
+		for ; base < seg1; base += 2 {
+			q := (base - b) & (reanchorPeriod - 2)
+			rz0 := 1 / w0
+			rz1 := 1 / w1
+			xs[q] = u0 * rz0
+			ys[q] = v0 * rz0
+			w2s[q] = rz0 * rz0
+			xs[q+1] = u1 * rz1
+			ys[q+1] = v1 * rz1
+			w2s[q+1] = rz1 * rz1
+			u0 += ax2
+			v0 += ay2
+			w0 += az2
+			u1 += ax2
+			v1 += ay2
+			w1 += az2
+		}
+		for i := seg0; i < seg1; i++ {
+			q := (i - b) & (reanchorPeriod - 1)
+			x := xs[q]
+			y := ys[q]
+			iu := int(floor32(x))
+			iv := int(floor32(y))
+			eu := x - float32(iu)
+			ev := y - float32(iv)
+			var p00, p01, p10, p11 float32
+			if iv >= lo && iv < hi {
+				r := *(*int)(unsafe.Add(rp, uintptr(iv-lo)*8))
+				if iu >= 0 && iu < nuRow {
+					p00 = *(*float32)(unsafe.Add(dp, uintptr(r+iu)*4))
+				}
+				if iu+1 >= 0 && iu+1 < nuRow {
+					p01 = *(*float32)(unsafe.Add(dp, uintptr(r+iu+1)*4))
+				}
+			}
+			if iv+1 >= lo && iv+1 < hi {
+				r := *(*int)(unsafe.Add(rp, uintptr(iv+1-lo)*8))
+				if iu >= 0 && iu < nuRow {
+					p10 = *(*float32)(unsafe.Add(dp, uintptr(r+iu)*4))
+				}
+				if iu+1 >= 0 && iu+1 < nuRow {
+					p11 = *(*float32)(unsafe.Add(dp, uintptr(r+iu+1)*4))
+				}
+			}
+			t1 := p00 + eu*(p01-p00)
+			t2 := p10 + eu*(p11-p10)
+			out[i] += w2s[q] * (t1 + ev*(t2-t1))
+		}
+	}
+	return segs
+}

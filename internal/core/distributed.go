@@ -33,6 +33,16 @@ type ClusterOptions struct {
 	// WorkersPerRank bounds each rank's kernel parallelism; defaults to
 	// 1 since ranks already run concurrently.
 	WorkersPerRank int
+	// Kernel selects the back-projection arithmetic (default
+	// KernelRecurrence; KernelExact retains the PR-1 per-sample form).
+	Kernel backproject.Kernel
+	// RingLayout selects each rank's projection-ring memory layout
+	// (default row-interleaved).
+	RingLayout device.RingLayout
+	// Fusion controls the filter→upload handoff. The per-rank batch loop
+	// is sequential, so FusionAuto (and FusionOn) fuse; FusionOff keeps
+	// the separate filter and upload passes.
+	Fusion FusionMode
 	// Hierarchical enables the node-leader reduction of Section 4.4.2
 	// with RanksPerNode ranks per node.
 	Hierarchical bool
@@ -210,7 +220,7 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 		}
 		dev := device.New(fmt.Sprintf("rank%d", rank), opts.DeviceMemBytes, workers)
 		dev.SetTelemetry(reg)
-		ring, err := device.NewProjRing(dev, p.Sys.NU, pHi-pLo, p.RingDepth(g))
+		ring, err := device.NewProjRingLayout(dev, p.Sys.NU, pHi-pLo, p.RingDepth(g), opts.RingLayout)
 		if err != nil {
 			return err
 		}
@@ -268,21 +278,35 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 				if lerr != nil {
 					return fmt.Errorf("rank %d batch %d load: %w", rank, c, lerr)
 				}
-				endFilter := reg.Span("filter", c)
-				if err := applyParker(parker, st); err != nil {
-					return fmt.Errorf("rank %d batch %d parker: %w", rank, c, err)
+				if opts.Fusion != FusionOff {
+					// The rank loop is sequential, so the fused fill is
+					// always safe; the combined work lands in the filter
+					// span and the upload span records the (now empty)
+					// handoff.
+					endFilter := reg.Span("filter", c)
+					if err := fuseUpload(ring, st, fdk, parker, 1); err != nil {
+						return fmt.Errorf("rank %d batch %d filter: %w", rank, c, err)
+					}
+					endFilter()
+					endUpload := reg.Span("upload", c)
+					endUpload()
+				} else {
+					endFilter := reg.Span("filter", c)
+					if err := applyParker(parker, st); err != nil {
+						return fmt.Errorf("rank %d batch %d parker: %w", rank, c, err)
+					}
+					count := st.NV * st.NP
+					vOf := func(i int) int { return st.V0 + i/st.NP }
+					if err := fdk.FilterRows(st.Data, count, vOf, 1); err != nil {
+						return fmt.Errorf("rank %d batch %d filter: %w", rank, c, err)
+					}
+					endFilter()
+					endUpload := reg.Span("upload", c)
+					if err := ring.LoadRows(st, st.Rows()); err != nil {
+						return fmt.Errorf("rank %d batch %d: %w", rank, c, err)
+					}
+					endUpload()
 				}
-				count := st.NV * st.NP
-				vOf := func(i int) int { return st.V0 + i/st.NP }
-				if err := fdk.FilterRows(st.Data, count, vOf, 1); err != nil {
-					return fmt.Errorf("rank %d batch %d filter: %w", rank, c, err)
-				}
-				endFilter()
-				endUpload := reg.Span("upload", c)
-				if err := ring.LoadRows(st, st.Rows()); err != nil {
-					return fmt.Errorf("rank %d batch %d: %w", rank, c, err)
-				}
-				endUpload()
 			}
 			prev = rows
 
@@ -291,7 +315,7 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 				return err
 			}
 			endBP := reg.Span("backproject", c)
-			if err := backproject.Streaming(dev, ring, mats, slab, rows); err != nil {
+			if err := backproject.StreamingKernel(dev, ring, mats, slab, rows, opts.Kernel); err != nil {
 				return fmt.Errorf("rank %d batch %d: %w", rank, c, err)
 			}
 			endBP()

@@ -60,6 +60,23 @@ func (r *ClusterReport) String() string {
 		}
 		b.WriteByte('\n')
 	}
+	// Kernel efficiency: how the updates split across the recurrence
+	// kernel's three paths. Skipped samples are provably-zero work the
+	// kernel never executed — a high skip share means the GUPS number
+	// rides on clipping, not arithmetic.
+	var kTotal, kInterior, kBorder, kSkipped, kReanchors int64
+	for i := range r.Ledgers {
+		kTotal += r.Ledgers[i].VoxelUpdates
+		kInterior += r.Ledgers[i].InteriorSamples
+		kBorder += r.Ledgers[i].BorderSamples
+		kSkipped += r.Ledgers[i].SkippedSamples
+		kReanchors += r.Ledgers[i].Reanchors
+	}
+	if kTotal > 0 && kInterior+kBorder+kSkipped > 0 {
+		pct := func(n int64) float64 { return 100 * float64(n) / float64(kTotal) }
+		fmt.Fprintf(&b, "kernel: %.1f%% interior / %.1f%% border / %.1f%% skipped of %d updates, %d re-anchors\n",
+			pct(kInterior), pct(kBorder), pct(kSkipped), kTotal, kReanchors)
+	}
 	if r.Restarts > 0 || len(r.LostRanks) > 0 {
 		fmt.Fprintf(&b, "recovery: %d restarts, lost ranks %v, finished on %d ranks\n",
 			r.Restarts, r.LostRanks, len(r.Ledgers))

@@ -91,6 +91,15 @@ type ReconOptions struct {
 	Window filter.Window
 	// FilterWorkers bounds the filtering parallelism (0 = GOMAXPROCS).
 	FilterWorkers int
+	// Kernel selects the back-projection arithmetic (default
+	// KernelRecurrence; KernelExact retains the PR-1 per-sample form).
+	Kernel backproject.Kernel
+	// RingLayout selects the projection ring's memory layout (default
+	// row-interleaved).
+	RingLayout device.RingLayout
+	// Fusion controls the filter→upload handoff (default FusionAuto; see
+	// FusionMode).
+	Fusion FusionMode
 	// Sink receives finished slabs (required).
 	Sink SlabSink
 	// BPWorkers sets the worker count of the back-projection stage.
@@ -210,7 +219,12 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 	if elastic {
 		depth = p.RingDepthWindow(0, releaseLag+1)
 	}
-	ring, err := device.NewProjRing(opts.Device, p.Sys.NU, p.Sys.NP, depth)
+	// Fusion: filter straight into ring slots wherever the handoff is
+	// sequential (see FusionMode). The stage that owns ring mutation does
+	// the fused fill, so no mode introduces a mutation/read race.
+	fused := opts.Fusion == FusionOn ||
+		(opts.Fusion == FusionAuto && (opts.DisablePipeline || elastic))
+	ring, err := device.NewProjRingLayout(opts.Device, p.Sys.NU, p.Sys.NP, depth, opts.RingLayout)
 	if err != nil {
 		return nil, err
 	}
@@ -261,7 +275,9 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 	}
 	filterStage := func(c int, in any) (any, error) {
 		st, _ := in.(*projection.Stack)
-		if st == nil {
+		if st == nil || fused {
+			// Fused: the raw stack flows through; the ring-owning stage
+			// filters it into the slots (fuseUpload).
 			return in, nil
 		}
 		if err := applyParker(parker, st); err != nil {
@@ -286,7 +302,11 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 			ring.Release(rows.Lo)
 		}
 		if st, _ := in.(*projection.Stack); st != nil {
-			if err := ring.LoadRows(st, st.Rows()); err != nil {
+			if fused {
+				if err := fuseUpload(ring, st, fdk, parker, opts.FilterWorkers); err != nil {
+					return nil, err
+				}
+			} else if err := ring.LoadRows(st, st.Rows()); err != nil {
 				return nil, err
 			}
 		}
@@ -296,7 +316,7 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := backproject.Streaming(opts.Device, ring, mats, slab, rows); err != nil {
+		if err := backproject.StreamingKernel(opts.Device, ring, mats, slab, rows, opts.Kernel); err != nil {
 			return nil, err
 		}
 		opts.Device.RecordD2H(slab.Bytes())
@@ -321,7 +341,11 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 			}
 		}
 		if st, _ := in.(*projection.Stack); st != nil {
-			if err := ring.LoadRows(st, st.Rows()); err != nil {
+			if fused {
+				if err := fuseUpload(ring, st, fdk, parker, opts.FilterWorkers); err != nil {
+					return nil, err
+				}
+			} else if err := ring.LoadRows(st, st.Rows()); err != nil {
 				return nil, err
 			}
 		}
@@ -337,7 +361,7 @@ func ReconstructSingle(opts ReconOptions) (*ReconReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := backproject.Streaming(opts.Device, ring, mats, slab, rows); err != nil {
+		if err := backproject.StreamingKernel(opts.Device, ring, mats, slab, rows, opts.Kernel); err != nil {
 			return nil, err
 		}
 		opts.Device.RecordD2H(slab.Bytes())

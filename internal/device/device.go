@@ -39,8 +39,18 @@ type Ledger struct {
 	// KernelLaunches counts back-projection kernel invocations.
 	KernelLaunches int64
 	// VoxelUpdates counts voxel×projection accumulation steps, the
-	// quantity behind the paper's GUPS metric.
+	// quantity behind the paper's GUPS metric. Samples the kernel proves
+	// zero and skips still count as updates — GUPS measures output work,
+	// not instructions retired.
 	VoxelUpdates int64
+	// InteriorSamples and BorderSamples split the *evaluated* samples by
+	// kernel path (branch-free interior fast path vs branchy border
+	// path); SkippedSamples counts updates clipped away as provably zero.
+	// Their sum equals VoxelUpdates for the kernels that report them.
+	InteriorSamples, BorderSamples, SkippedSamples int64
+	// Reanchors counts recurrence re-anchor events (coordinate lanes
+	// recomputed from the direct expression to bound float32 drift).
+	Reanchors int64
 }
 
 // Device models one accelerator.
@@ -66,6 +76,11 @@ type Device struct {
 	d2hOps         atomic.Int64
 	kernelLaunches atomic.Int64
 	voxelUpdates   atomic.Int64
+
+	interiorSamples atomic.Int64
+	borderSamples   atomic.Int64
+	skippedSamples  atomic.Int64
+	reanchors       atomic.Int64
 }
 
 // New returns a device with the given capacity (0 = unlimited) and worker
@@ -84,6 +99,11 @@ type ringTelemetry struct {
 	evictedRows *telemetry.Counter // rows dropped by Release/Reset
 	resets      *telemetry.Counter // full ring resets (disjoint schedules)
 	resident    *telemetry.Gauge   // rows resident after the last mutation
+
+	kernelInterior *telemetry.Counter // samples through the interior fast path
+	kernelBorder   *telemetry.Counter // samples through the border path
+	kernelSkipped  *telemetry.Counter // provably-zero samples clipped away
+	kernelReanchor *telemetry.Counter // recurrence re-anchor events
 }
 
 // SetTelemetry points the device's projection-ring instrumentation at a
@@ -104,6 +124,11 @@ func (d *Device) SetTelemetry(reg *telemetry.Registry) {
 		evictedRows: reg.Counter("device.ring.evicted_rows"),
 		resets:      reg.Counter("device.ring.resets"),
 		resident:    reg.Gauge("device.ring.resident_rows"),
+
+		kernelInterior: reg.Counter("kernel.interior_samples"),
+		kernelBorder:   reg.Counter("kernel.border_samples"),
+		kernelSkipped:  reg.Counter("kernel.skipped_samples"),
+		kernelReanchor: reg.Counter("kernel.reanchors"),
 	}
 }
 
@@ -156,6 +181,23 @@ func (d *Device) RecordKernel(updates int64) {
 	d.voxelUpdates.Add(updates)
 }
 
+// RecordKernelSamples accounts one launch's sample-path classification:
+// interior fast-path samples, border-path samples, samples skipped as
+// provably zero, and recurrence re-anchor events. Called once per launch
+// with worker-aggregated totals — never per sample.
+func (d *Device) RecordKernelSamples(interior, border, skipped, reanchors int64) {
+	d.interiorSamples.Add(interior)
+	d.borderSamples.Add(border)
+	d.skippedSamples.Add(skipped)
+	d.reanchors.Add(reanchors)
+	if t := d.tel; t != nil {
+		t.kernelInterior.Add(interior)
+		t.kernelBorder.Add(border)
+		t.kernelSkipped.Add(skipped)
+		t.kernelReanchor.Add(reanchors)
+	}
+}
+
 // Snapshot returns the current ledger totals.
 func (d *Device) Snapshot() Ledger {
 	return Ledger{
@@ -165,6 +207,11 @@ func (d *Device) Snapshot() Ledger {
 		D2HOps:         d.d2hOps.Load(),
 		KernelLaunches: d.kernelLaunches.Load(),
 		VoxelUpdates:   d.voxelUpdates.Load(),
+
+		InteriorSamples: d.interiorSamples.Load(),
+		BorderSamples:   d.borderSamples.Load(),
+		SkippedSamples:  d.skippedSamples.Load(),
+		Reanchors:       d.reanchors.Load(),
 	}
 }
 
@@ -195,6 +242,11 @@ func (l Ledger) Sub(o Ledger) Ledger {
 		H2DOps: l.H2DOps - o.H2DOps, D2HOps: l.D2HOps - o.D2HOps,
 		KernelLaunches: l.KernelLaunches - o.KernelLaunches,
 		VoxelUpdates:   l.VoxelUpdates - o.VoxelUpdates,
+
+		InteriorSamples: l.InteriorSamples - o.InteriorSamples,
+		BorderSamples:   l.BorderSamples - o.BorderSamples,
+		SkippedSamples:  l.SkippedSamples - o.SkippedSamples,
+		Reanchors:       l.Reanchors - o.Reanchors,
 	}
 }
 

@@ -9,6 +9,42 @@ import (
 	"distfdk/internal/projection"
 )
 
+// RingLayout selects how the ring's (row, projection, column) samples are
+// arranged in device memory. Both layouts address a sample as
+// RowBase(v) + p·ProjStride() + u, so the kernels are layout-agnostic.
+type RingLayout int
+
+const (
+	// LayoutRowInterleaved is Listing 1's devPixel order: slot-major with
+	// the NP projections of one detector row adjacent —
+	// data[((v%H)·NP+p)·NU+u]. Uploads of one row are a single contiguous
+	// copy; kernel reads of one projection hop NP·NU between rows.
+	LayoutRowInterleaved RingLayout = iota
+	// LayoutProjMajor stores each projection's rows contiguously —
+	// data[(p·H+(v%H))·NU+u] — so a kernel sweeping adjacent detector rows
+	// of one projection (the s-blocked interior loop) reads unit-stride
+	// streams at the cost of NP separate copies per uploaded row.
+	LayoutProjMajor
+)
+
+// ParseRingLayout maps the CLI spelling to a RingLayout.
+func ParseRingLayout(s string) (RingLayout, error) {
+	switch s {
+	case "", "interleaved":
+		return LayoutRowInterleaved, nil
+	case "proj-major":
+		return LayoutProjMajor, nil
+	}
+	return 0, fmt.Errorf("device: unknown ring layout %q (interleaved, proj-major)", s)
+}
+
+func (l RingLayout) String() string {
+	if l == LayoutProjMajor {
+		return "proj-major"
+	}
+	return "interleaved"
+}
+
 // ProjRing is the device-resident projection row store of Algorithm 3: a
 // 3-D buffer of H detector rows × NP projections × NU columns addressed
 // modulo H in the row dimension (`Z = z % dimZ` in Listing 1's devPixel).
@@ -23,6 +59,7 @@ type ProjRing struct {
 	dev    *Device
 	NU, NP int
 	H      int // ring depth in rows
+	Layout RingLayout
 
 	data []float32
 
@@ -34,9 +71,14 @@ type ProjRing struct {
 	valid geometry.RowRange // global rows currently resident
 }
 
-// NewProjRing allocates a ring of depth h rows on the device, charging its
-// memory budget.
+// NewProjRing allocates a ring of depth h rows on the device in the
+// default row-interleaved layout, charging its memory budget.
 func NewProjRing(dev *Device, nu, np, h int) (*ProjRing, error) {
+	return NewProjRingLayout(dev, nu, np, h, LayoutRowInterleaved)
+}
+
+// NewProjRingLayout is NewProjRing with an explicit memory layout.
+func NewProjRingLayout(dev *Device, nu, np, h int, layout RingLayout) (*ProjRing, error) {
 	if nu <= 0 || np <= 0 || h <= 0 {
 		return nil, fmt.Errorf("device: ring dimensions %dx%dx%d must be positive", nu, np, h)
 	}
@@ -44,7 +86,7 @@ func NewProjRing(dev *Device, nu, np, h int) (*ProjRing, error) {
 	if err := dev.Alloc(bytes); err != nil {
 		return nil, fmt.Errorf("device: projection ring of %d rows (%d bytes): %w", h, bytes, err)
 	}
-	return &ProjRing{dev: dev, NU: nu, NP: np, H: h, data: make([]float32, int(bytes/4))}, nil
+	return &ProjRing{dev: dev, NU: nu, NP: np, H: h, Layout: layout, data: make([]float32, int(bytes/4))}, nil
 }
 
 // Close releases the ring's device memory.
@@ -57,6 +99,32 @@ func (r *ProjRing) Close() {
 
 // Bytes returns the ring's device-memory footprint.
 func (r *ProjRing) Bytes() int64 { return int64(r.NU) * int64(r.NP) * int64(r.H) * 4 }
+
+// RowBase returns the storage offset of global row v (projection 0); the
+// sample (v, p, u) lives at RowBase(v) + p·ProjStride() + u. Callers must
+// have verified residency for v.
+func (r *ProjRing) RowBase(v int) int {
+	slot := v % r.H
+	if r.Layout == LayoutProjMajor {
+		return slot * r.NU
+	}
+	return slot * r.NP * r.NU
+}
+
+// ProjStride returns the storage distance between consecutive projections
+// of one detector row.
+func (r *ProjRing) ProjStride() int {
+	if r.Layout == LayoutProjMajor {
+		return r.H * r.NU
+	}
+	return r.NU
+}
+
+// rowSlice returns the writable storage of (global row v, projection p).
+func (r *ProjRing) rowSlice(v, p int) []float32 {
+	off := r.RowBase(v) + p*r.ProjStride()
+	return r.data[off : off+r.NU]
+}
 
 // Valid returns the global row range currently resident.
 func (r *ProjRing) Valid() geometry.RowRange {
@@ -96,6 +164,26 @@ func (r *ProjRing) Release(upTo int) {
 	}
 }
 
+// admitRows validates that loading `rows` respects the ring discipline:
+// contiguous upward extension, no eviction of un-Released rows, and the
+// resident range fitting the depth. Callers hold mu. Returns the new valid
+// range.
+func (r *ProjRing) admitRows(rows geometry.RowRange) (geometry.RowRange, error) {
+	newValid := r.valid.Union(rows)
+	if !r.valid.IsEmpty() && rows.Lo > r.valid.Hi {
+		return newValid, fmt.Errorf("device: load %v leaves a gap after resident %v", rows, r.valid)
+	}
+	if newValid.Len() > r.H {
+		return newValid, fmt.Errorf("device: resident range %v (%d rows) exceeds ring depth %d", newValid, newValid.Len(), r.H)
+	}
+	// Overwriting rows that are still valid (not Released) is an
+	// eviction bug.
+	if !r.valid.IsEmpty() && rows.Lo < r.valid.Hi {
+		return newValid, fmt.Errorf("device: load %v overlaps resident rows %v", rows, r.valid)
+	}
+	return newValid, nil
+}
+
 // LoadRows copies the global detector rows `rows` from the host stack into
 // the ring (the host→device Memcpy3D of Algorithm 3). The stack must
 // contain the rows and share the ring's NU/NP extents. Loads must extend
@@ -114,17 +202,9 @@ func (r *ProjRing) LoadRows(src *projection.Stack, rows geometry.RowRange) error
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	newValid := r.valid.Union(rows)
-	if !r.valid.IsEmpty() && rows.Lo > r.valid.Hi {
-		return fmt.Errorf("device: load %v leaves a gap after resident %v", rows, r.valid)
-	}
-	if newValid.Len() > r.H {
-		return fmt.Errorf("device: resident range %v (%d rows) exceeds ring depth %d", newValid, newValid.Len(), r.H)
-	}
-	// Overwriting rows that are still valid (not Released) is an
-	// eviction bug.
-	if !r.valid.IsEmpty() && rows.Lo < r.valid.Hi {
-		return fmt.Errorf("device: load %v overlaps resident rows %v", rows, r.valid)
+	newValid, err := r.admitRows(rows)
+	if err != nil {
+		return err
 	}
 
 	rowBytes := int64(r.NU) * int64(r.NP) * 4
@@ -139,11 +219,97 @@ func (r *ProjRing) LoadRows(src *projection.Stack, rows geometry.RowRange) error
 	if r.dev.tel != nil {
 		t0 = time.Now()
 	}
-	for v := rows.Lo; v < rows.Hi; v++ {
-		slot := v % r.H
-		dst := r.data[slot*r.NP*r.NU : (slot+1)*r.NP*r.NU]
-		srcOff := (v - src.V0) * src.NP * src.NU
-		copy(dst, src.Data[srcOff:srcOff+len(dst)])
+	if r.Layout == LayoutRowInterleaved {
+		for v := rows.Lo; v < rows.Hi; v++ {
+			slot := v % r.H
+			dst := r.data[slot*r.NP*r.NU : (slot+1)*r.NP*r.NU]
+			srcOff := (v - src.V0) * src.NP * src.NU
+			copy(dst, src.Data[srcOff:srcOff+len(dst)])
+		}
+	} else {
+		for v := rows.Lo; v < rows.Hi; v++ {
+			srcOff := (v - src.V0) * src.NP * src.NU
+			for p := 0; p < r.NP; p++ {
+				copy(r.rowSlice(v, p), src.Data[srcOff+p*src.NU:srcOff+(p+1)*src.NU])
+			}
+		}
+	}
+	if t := r.dev.tel; t != nil {
+		t.loadNs.Add(int64(time.Since(t0)))
+		t.loadRows.Add(int64(rows.Len()))
+		t.loadOps.Add(ops)
+		t.resident.Set(int64(newValid.Len()))
+	}
+	r.dev.RecordH2D(rowBytes*int64(rows.Len()), ops)
+	r.valid = newValid
+	return r.checkInvariant()
+}
+
+// FillRows extends the resident range exactly like LoadRows but produces
+// the row data in place instead of copying it from a host stack:
+// fill(v, p, dst) must write the NU samples of projection p, global
+// detector row v, into dst. This is the fused filter→upload path — the
+// filtered row lands directly in its ring slot, skipping the intermediate
+// host-stack pass. The (v, p) fills are distributed over `workers`
+// goroutines (0 or 1 = sequential); the ledger charges the same H2D
+// traffic as a LoadRows of the range, since the same bytes cross the
+// simulated link. On any fill error the resident range is left unchanged
+// (the slots written so far hold undefined data but remain un-admitted).
+func (r *ProjRing) FillRows(rows geometry.RowRange, workers int, fill func(v, p int, dst []float32) error) error {
+	if rows.IsEmpty() {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	newValid, err := r.admitRows(rows)
+	if err != nil {
+		return err
+	}
+
+	rowBytes := int64(r.NU) * int64(r.NP) * 4
+	ops := int64(1)
+	if (rows.Lo%r.H)+rows.Len() > r.H {
+		ops = 2
+	}
+	var t0 time.Time
+	if r.dev.tel != nil {
+		t0 = time.Now()
+	}
+	tasks := rows.Len() * r.NP
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers <= 1 {
+		for v := rows.Lo; v < rows.Hi; v++ {
+			for p := 0; p < r.NP; p++ {
+				if err := fill(v, p, r.rowSlice(v, p)); err != nil {
+					return err
+				}
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				for t := wk; t < tasks; t += workers {
+					v := rows.Lo + t/r.NP
+					p := t % r.NP
+					if err := fill(v, p, r.rowSlice(v, p)); err != nil {
+						errs[wk] = err
+						return
+					}
+				}
+			}(wk)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
 	}
 	if t := r.dev.tel; t != nil {
 		t.loadNs.Add(int64(time.Since(t0)))
@@ -174,13 +340,11 @@ func (r *ProjRing) Row(v, p int) ([]float32, error) {
 	if p < 0 || p >= r.NP {
 		return nil, fmt.Errorf("device: projection %d outside [0,%d)", p, r.NP)
 	}
-	slot := v % r.H
-	off := (slot*r.NP + p) * r.NU
-	return r.data[off : off+r.NU], nil
+	return r.rowSlice(v, p), nil
 }
 
 // RawData exposes the ring storage for the kernel inner loop, which indexes
-// it as data[((v%H)·NP+p)·NU+u] — the exact devPixel addressing of
-// Listing 1. Callers must have verified residency via Valid() for the row
-// range they touch.
+// it as data[RowBase(v)+p·ProjStride()+u] — the devPixel addressing of
+// Listing 1, generalised over the two layouts. Callers must have verified
+// residency via Valid() for the row range they touch.
 func (r *ProjRing) RawData() []float32 { return r.data }

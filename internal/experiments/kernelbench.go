@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -28,6 +29,19 @@ type KernelBenchOptions struct {
 	// Reps is the number of timed repetitions; the best is recorded
 	// (default 3).
 	Reps int
+	// Kernel selects the back-projection arithmetic: "recurrence"
+	// (default) or "exact" (the PR-1 escape hatch, the "before" row of a
+	// before/after pair).
+	Kernel string
+	// RingLayout selects the streaming ring's memory layout:
+	// "interleaved" (default) or "proj-major".
+	RingLayout string
+	// Parity, when set, validates the recurrence kernel against the exact
+	// kernel on the benchmark scenario (RMSE/max-abs inside the
+	// backproject parity gates, streaming bit-identical to batch) and
+	// records the result in the entry. A failed gate is an error: the
+	// throughput number is meaningless if the kernel is wrong.
+	Parity bool
 	// Label tags the entry ("seed kernels", "interior-span kernel", …).
 	Label string
 	// GitCommit is stamped into the entry (the caller resolves it; the
@@ -37,10 +51,19 @@ type KernelBenchOptions struct {
 
 // BackprojBench is one back-projection kernel measurement.
 type BackprojBench struct {
-	Kernel          string  `json:"kernel"` // "streaming" or "batch"
-	OutN            int     `json:"out_n"`
-	NP              int     `json:"np"`
-	Updates         int64   `json:"updates"`
+	Kernel     string `json:"kernel"`     // "streaming" or "batch"
+	Arithmetic string `json:"arithmetic"` // "recurrence" or "exact"
+	Layout     string `json:"layout,omitempty"`
+	OutN       int    `json:"out_n"`
+	NP         int    `json:"np"`
+	Updates    int64  `json:"updates"`
+	// Sample-path split of the best rep (recurrence kernel only):
+	// interior fast-path, guarded border, provably-zero skipped, and the
+	// re-anchor count behind the drift bound.
+	Interior        int64   `json:"interior_samples,omitempty"`
+	Border          int64   `json:"border_samples,omitempty"`
+	Skipped         int64   `json:"skipped_samples,omitempty"`
+	Reanchors       int64   `json:"reanchors,omitempty"`
 	Seconds         float64 `json:"seconds"` // best-of-reps wall time
 	GUPS            float64 `json:"gups"`
 	NsPerUpdate     float64 `json:"ns_per_update"`
@@ -61,6 +84,25 @@ type FilterBench struct {
 	AllocObjectsRep uint64  `json:"alloc_objects_per_rep"`
 }
 
+// ParityReport records the recurrence-vs-exact validation attached to a
+// benchmark entry: the throughput number is only meaningful while the
+// fast kernel stays inside the arithmetic contract.
+type ParityReport struct {
+	RMSE   float64 `json:"rmse"`
+	MaxAbs float64 `json:"max_abs"`
+	// Scale is the exact volume's max magnitude; the package gates are
+	// stated for unit-scale data, so the effective gates below are the
+	// package constants times max(1, Scale).
+	Scale      float64 `json:"scale"`
+	GateRMSE   float64 `json:"gate_rmse"`
+	GateMaxAbs float64 `json:"gate_max_abs"`
+	// StreamingEqualsBatch is the decomposition identity under the
+	// recurrence kernel: slab-by-slab streaming bit-identical to one
+	// batch launch.
+	StreamingEqualsBatch bool `json:"streaming_equals_batch"`
+	Pass                 bool `json:"pass"`
+}
+
 // KernelBenchEntry is one recorded run of the hot-loop benchmark.
 type KernelBenchEntry struct {
 	Label          string          `json:"label"`
@@ -71,6 +113,7 @@ type KernelBenchEntry struct {
 	Workers        int             `json:"workers"`
 	Backprojection []BackprojBench `json:"backprojection"`
 	Filtering      []FilterBench   `json:"filtering"`
+	Parity         *ParityReport   `json:"parity,omitempty"`
 }
 
 // KernelBenchFile is the BENCH_kernel.json envelope: an append-only list of
@@ -94,6 +137,9 @@ func (o *KernelBenchOptions) fill() {
 	}
 	if o.Reps <= 0 {
 		o.Reps = 3
+	}
+	if o.Kernel == "" {
+		o.Kernel = backproject.KernelRecurrence.String()
 	}
 }
 
@@ -122,6 +168,17 @@ func RunKernelBench(opts KernelBenchOptions) (*KernelBenchEntry, error) {
 		}
 		entry.Backprojection = append(entry.Backprojection, *bp)
 	}
+	if opts.Parity {
+		pr, err := validateParity(sc, opts)
+		if err != nil {
+			return nil, err
+		}
+		entry.Parity = pr
+		if !pr.Pass {
+			return entry, fmt.Errorf("kernelbench: recurrence kernel outside parity gate: rmse %g (gate %g), maxabs %g (gate %g), streaming==batch %v",
+				pr.RMSE, pr.GateRMSE, pr.MaxAbs, pr.GateMaxAbs, pr.StreamingEqualsBatch)
+		}
+	}
 
 	fb, err := benchFiltering(opts.Reps)
 	if err != nil {
@@ -142,6 +199,14 @@ func benchBackprojection(sc *Scenario, streaming bool, opts KernelBenchOptions) 
 	if streaming {
 		name = "streaming"
 	}
+	kernel, err := backproject.ParseKernel(opts.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := device.ParseRingLayout(opts.RingLayout)
+	if err != nil {
+		return nil, err
+	}
 	var best time.Duration
 	var bestLedger device.Ledger
 	var m0, m1 runtime.MemStats
@@ -155,7 +220,7 @@ func benchBackprojection(sc *Scenario, streaming bool, opts KernelBenchOptions) 
 			if err != nil {
 				return nil, err
 			}
-			ring, err := device.NewProjRing(dev, sys.NU, sys.NP, sys.NV)
+			ring, err := device.NewProjRingLayout(dev, sys.NU, sys.NP, sys.NV, layout)
 			if err != nil {
 				return nil, err
 			}
@@ -174,7 +239,7 @@ func benchBackprojection(sc *Scenario, streaming bool, opts KernelBenchOptions) 
 					ring.Close()
 					return nil, err
 				}
-				if err := backproject.Streaming(dev, ring, mats, slab, plan.SlabRows(0, c)); err != nil {
+				if err := backproject.StreamingKernel(dev, ring, mats, slab, plan.SlabRows(0, c), kernel); err != nil {
 					ring.Close()
 					return nil, err
 				}
@@ -187,7 +252,7 @@ func benchBackprojection(sc *Scenario, streaming bool, opts KernelBenchOptions) 
 				return nil, err
 			}
 			start := time.Now()
-			if err := backproject.Batch(dev, sc.Stack, mats, vol); err != nil {
+			if err := backproject.BatchKernel(dev, sc.Stack, mats, vol, kernel); err != nil {
 				return nil, err
 			}
 			elapsed = time.Since(start)
@@ -199,17 +264,114 @@ func benchBackprojection(sc *Scenario, streaming bool, opts KernelBenchOptions) 
 	}
 	runtime.ReadMemStats(&m1)
 	reps := uint64(opts.Reps)
-	return &BackprojBench{
+	bb := &BackprojBench{
 		Kernel:          name,
+		Arithmetic:      kernel.String(),
 		OutN:            sys.NZ,
 		NP:              sys.NP,
 		Updates:         bestLedger.VoxelUpdates,
+		Interior:        bestLedger.InteriorSamples,
+		Border:          bestLedger.BorderSamples,
+		Skipped:         bestLedger.SkippedSamples,
+		Reanchors:       bestLedger.Reanchors,
 		Seconds:         best.Seconds(),
 		GUPS:            bestLedger.GUPS(best),
 		NsPerUpdate:     bestLedger.NsPerUpdate(best),
 		AllocBytesRep:   (m1.TotalAlloc - m0.TotalAlloc) / reps,
 		AllocObjectsRep: (m1.Mallocs - m0.Mallocs) / reps,
-	}, nil
+	}
+	if streaming {
+		bb.Layout = layout.String()
+	}
+	return bb, nil
+}
+
+// validateParity reconstructs the benchmark scenario through both kernel
+// arithmetics and checks the recurrence result against the package parity
+// gates (scaled to the data's magnitude), plus the streaming ≡ batch
+// bit-identity the decomposition rests on.
+func validateParity(sc *Scenario, opts KernelBenchOptions) (*ParityReport, error) {
+	sys := sc.Sys
+	mats := core.KernelMatrices(sys, 0, sys.NP)
+	layout, err := device.ParseRingLayout(opts.RingLayout)
+	if err != nil {
+		return nil, err
+	}
+
+	exact, err := volume.New(sys.NX, sys.NY, sys.NZ)
+	if err != nil {
+		return nil, err
+	}
+	if err := backproject.BatchKernel(device.New("parity-exact", 0, opts.Workers), sc.Stack, mats, exact, backproject.KernelExact); err != nil {
+		return nil, err
+	}
+	rec, err := volume.New(sys.NX, sys.NY, sys.NZ)
+	if err != nil {
+		return nil, err
+	}
+	if err := backproject.BatchKernel(device.New("parity-rec", 0, opts.Workers), sc.Stack, mats, rec, backproject.KernelRecurrence); err != nil {
+		return nil, err
+	}
+
+	// Streaming decomposition identity under the default kernel.
+	dev := device.New("parity-stream", 0, opts.Workers)
+	ring, err := device.NewProjRingLayout(dev, sys.NU, sys.NP, sys.NV, layout)
+	if err != nil {
+		return nil, err
+	}
+	defer ring.Close()
+	if err := ring.LoadRows(sc.Stack, sc.Stack.Rows()); err != nil {
+		return nil, err
+	}
+	plan, err := core.NewPlan(sys, 1, 1, core.DefaultBatchCount)
+	if err != nil {
+		return nil, err
+	}
+	stream, err := volume.New(sys.NX, sys.NY, sys.NZ)
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < plan.BatchCount; c++ {
+		z0, nz := plan.SlabZ(0, c)
+		if nz == 0 {
+			continue
+		}
+		slab, err := volume.NewSlab(sys.NX, sys.NY, nz, z0)
+		if err != nil {
+			return nil, err
+		}
+		if err := backproject.StreamingKernel(dev, ring, mats, slab, plan.SlabRows(0, c), backproject.KernelRecurrence); err != nil {
+			return nil, err
+		}
+		if err := stream.CopySlabFrom(slab); err != nil {
+			return nil, err
+		}
+	}
+	identical := true
+	for i := range rec.Data {
+		if stream.Data[i] != rec.Data[i] {
+			identical = false
+			break
+		}
+	}
+
+	stats, err := volume.Compare(exact, rec)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := exact.MinMax()
+	scale := math.Max(math.Abs(float64(lo)), math.Abs(float64(hi)))
+	gateScale := math.Max(scale, 1)
+	pr := &ParityReport{
+		RMSE:                 stats.RMSE,
+		MaxAbs:               stats.MaxAbs,
+		Scale:                scale,
+		GateRMSE:             backproject.ParityGateRMSE * gateScale,
+		GateMaxAbs:           backproject.ParityGateMaxAbs * gateScale,
+		StreamingEqualsBatch: identical,
+	}
+	pr.Pass = pr.RMSE <= pr.GateRMSE && pr.MaxAbs <= pr.GateMaxAbs && identical
+	return pr, nil
 }
 
 // benchFiltering times the FDK row-filter hot loop on a detector-scale row
@@ -287,8 +449,16 @@ func AppendKernelBenchJSON(path string, entry *KernelBenchEntry) error {
 func (e *KernelBenchEntry) Summary() string {
 	s := fmt.Sprintf("%s (%s, workers=%d)\n", e.Label, e.GitCommit, e.Workers)
 	for _, bp := range e.Backprojection {
-		s += fmt.Sprintf("  backproject/%-9s %6.4f GUPS  %8.2f ns/update  %.3fs\n",
-			bp.Kernel, bp.GUPS, bp.NsPerUpdate, bp.Seconds)
+		s += fmt.Sprintf("  backproject/%-9s [%s] %6.4f GUPS  %8.2f ns/update  %.3fs\n",
+			bp.Kernel, bp.Arithmetic, bp.GUPS, bp.NsPerUpdate, bp.Seconds)
+	}
+	if p := e.Parity; p != nil {
+		verdict := "PASS"
+		if !p.Pass {
+			verdict = "FAIL"
+		}
+		s += fmt.Sprintf("  parity %s: rmse %.3g (gate %.3g)  maxabs %.3g (gate %.3g)  streaming==batch %v\n",
+			verdict, p.RMSE, p.GateRMSE, p.MaxAbs, p.GateMaxAbs, p.StreamingEqualsBatch)
 	}
 	for _, fb := range e.Filtering {
 		s += fmt.Sprintf("  filter rows (NU=%d) %9.0f rows/s  %8.0f ns/row  fft=%d\n",

@@ -122,16 +122,42 @@ func (f *FDK) NewScratch() *Scratch {
 // row index of the data (used to look up the cosine weight); it must lie in
 // [0, NV).
 func (f *FDK) FilterRow(row []float32, v int, s *Scratch) error {
-	if len(row) != f.nu {
-		return fmt.Errorf("filter: row length %d, want %d", len(row), f.nu)
+	return f.FilterRowInto(row, row, v, nil, s)
+}
+
+// FilterRowInto filters the detector row src of physical row index v into
+// dst, optionally folding in the per-column redundancy weights pw (nil for
+// a full scan). This is the fused filter→upload primitive: dst may be a
+// device-ring slot, so the filtered row lands in device memory without an
+// intermediate host-stack pass. The arithmetic is bit-identical to the
+// unfused ApplyRow-then-FilterRow sequence — the redundancy product rounds
+// to float32 before the cosine weight multiplies it, exactly as when the
+// stack is weighted in place — so fused and unfused reconstructions match
+// to the last ulp. dst and src may alias.
+func (f *FDK) FilterRowInto(dst, src []float32, v int, pw []float32, s *Scratch) error {
+	if len(src) != f.nu {
+		return fmt.Errorf("filter: row length %d, want %d", len(src), f.nu)
+	}
+	if len(dst) != f.nu {
+		return fmt.Errorf("filter: dst length %d, want %d", len(dst), f.nu)
 	}
 	if v < 0 || v >= f.nv {
 		return fmt.Errorf("filter: row index %d outside detector [0,%d)", v, f.nv)
 	}
+	if pw != nil && len(pw) != f.nu {
+		return fmt.Errorf("filter: weight length %d, want %d", len(pw), f.nu)
+	}
 	w := f.weights[v*f.nu : (v+1)*f.nu]
 	n := f.plan.Size()
-	for u := 0; u < f.nu; u++ {
-		s.x[u] = float64(row[u] * w[u])
+	if pw != nil {
+		for u := 0; u < f.nu; u++ {
+			// Two float32 roundings, matching ApplyRow + FilterRow.
+			s.x[u] = float64(src[u] * pw[u] * w[u])
+		}
+	} else {
+		for u := 0; u < f.nu; u++ {
+			s.x[u] = float64(src[u] * w[u])
+		}
 	}
 	for u := f.nu; u < n; u++ {
 		s.x[u] = 0
@@ -149,7 +175,7 @@ func (f *FDK) FilterRow(row []float32, v int, s *Scratch) error {
 		return err
 	}
 	for u := 0; u < f.nu; u++ {
-		row[u] = float32(s.x[u])
+		dst[u] = float32(s.x[u])
 	}
 	return nil
 }

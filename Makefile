@@ -81,14 +81,18 @@ bench:
 	$(GO) test -bench=. -benchmem -timeout 45m ./...
 
 # CI kernel gate: a reduced-size kernel benchmark whose parity validation
-# must pass — recurrence-vs-exact RMSE/max-abs inside the package gates
-# and streaming bit-identical to batch — and whose JSON record lands in
-# artifacts/ for upload. Exits non-zero on any gate violation, so a kernel
-# change that breaks the arithmetic contract fails the build even when
-# every unit test still passes.
+# must pass — recurrence-vs-exact (and, on AVX2 hosts, simd-vs-exact)
+# RMSE/max-abs inside the package gates and streaming bit-identical to
+# batch — and whose JSON record lands in artifacts/ for upload. The second
+# run times the simd kernel itself (falling back to recurrence off-AVX2),
+# so the dispatch path is exercised end to end. Exits non-zero on any gate
+# violation, so a kernel change that breaks the arithmetic contract fails
+# the build even when every unit test still passes.
 bench-smoke:
 	mkdir -p artifacts
 	$(GO) run ./cmd/fdkbench -smoke -kernel-json artifacts/bench_smoke.json
+	$(GO) run ./cmd/fdkbench -smoke -kernels simd -label bench-smoke-simd \
+		-kernel-json artifacts/bench_smoke.json
 
 # Append a machine-readable hot-loop record (GUPS, ns/voxel-update,
 # filter rows/s, alloc stats, git commit) to BENCH_kernel.json.

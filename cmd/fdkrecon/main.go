@@ -69,7 +69,7 @@ func main() {
 		backoff  = flag.Duration("restart-backoff", core.DefaultRestartBackoff, "initial relaunch backoff, doubled per restart (with -journal)")
 		deadline = flag.Duration("deadline", 0, "collective deadline: a lost peer surfaces as a typed error within this bound (0 waits for world teardown)")
 		kills    = flag.String("kill", "", "chaos: comma-separated rank@batch kill schedule, e.g. 1@1,2@0 (recovery drill with -journal)")
-		kernelFl = flag.String("kernels", "recurrence", "back-projection arithmetic: recurrence or exact (the PR-1 escape hatch)")
+		kernelFl = flag.String("kernels", "recurrence", "back-projection arithmetic: recurrence, exact (the PR-1 escape hatch) or simd (AVX2; silently falls back to recurrence elsewhere)")
 		layoutFl = flag.String("ring-layout", "interleaved", "projection ring layout: interleaved or proj-major")
 		fusionFl = flag.String("fusion", "auto", "filter-into-ring fusion: auto, on, off")
 	)

@@ -61,6 +61,13 @@ const (
 	// the escape hatch (`kernels=exact`) and the baseline the recurrence
 	// kernel's parity gate measures against.
 	KernelExact
+	// KernelSIMD is the recurrence restructuring executed 8-wide in AVX2
+	// assembly: vector lane recurrences with the same fixed-absolute-column
+	// re-anchoring, a Newton-refined hardware reciprocal instead of the
+	// divide, and gathered bilinear footprints (see simd.go for the
+	// contract). Hosts without usable AVX2 (or non-amd64 builds) silently
+	// fall back to KernelRecurrence, counted by kernel.simd_fallback.
+	KernelSIMD
 )
 
 // ParseKernel maps the CLI spelling to a Kernel.
@@ -70,13 +77,18 @@ func ParseKernel(s string) (Kernel, error) {
 		return KernelRecurrence, nil
 	case "exact":
 		return KernelExact, nil
+	case "simd":
+		return KernelSIMD, nil
 	}
-	return 0, fmt.Errorf("backproject: unknown kernel %q (recurrence, exact)", s)
+	return 0, fmt.Errorf("backproject: unknown kernel %q (recurrence, exact, simd)", s)
 }
 
 func (k Kernel) String() string {
-	if k == KernelExact {
+	switch k {
+	case KernelExact:
 		return "exact"
+	case KernelSIMD:
+		return "simd"
 	}
 	return "recurrence"
 }
@@ -96,6 +108,9 @@ type projAccess struct {
 	sStride int   // storage distance between projections of one row
 	lo, hi  int   // global rows readable [lo, hi)
 	rowOff  []int // rowOff[v-lo] = storage offset of global row v
+	// rowIdx32 is rowOff narrowed to int32 for the AVX2 gather
+	// instructions; built lazily by prepareSIMD when KernelSIMD runs.
+	rowIdx32 []int32
 }
 
 // buildRowTable fills rowOff and sStride for a hand-constructed access in
@@ -300,6 +315,10 @@ func (a *projAccess) interiorResident(i int, ax, xc, ay, yc, az, zc float32) boo
 // device ledger/telemetry — never per sample.
 type kernelCounters struct {
 	interior, border, skipped, reanchors int64
+	// Vector-lane accounting of the simd kernel's interior columns:
+	// complete 8-lane iterations vs columns executed under a partial lane
+	// mask (the masked tail). Zero under the other kernels.
+	simdGroups, simdTail int64
 }
 
 func (c *kernelCounters) add(o kernelCounters) {
@@ -307,6 +326,8 @@ func (c *kernelCounters) add(o kernelCounters) {
 	c.border += o.border
 	c.skipped += o.skipped
 	c.reanchors += o.reanchors
+	c.simdGroups += o.simdGroups
+	c.simdTail += o.simdTail
 }
 
 // accumulateSlab runs the shared inner loop: for every voxel of slab
@@ -327,6 +348,12 @@ func accumulateSlab(dev *device.Device, a projAccess, mats []geometry.Mat34x4, s
 		dev.RecordKernel(0)
 		return nil
 	}
+	if kernel == KernelSIMD && (!simdAvailable() || !a.prepareSIMD()) {
+		// Silent degrade, never an error: the request stays valid on every
+		// host, and the fallback is visible through the ledger counter.
+		kernel = KernelRecurrence
+		dev.RecordSIMDFallback()
+	}
 	workers := dev.WorkerCount()
 	if workers > slab.NZ {
 		workers = slab.NZ
@@ -340,7 +367,7 @@ func accumulateSlab(dev *device.Device, a projAccess, mats []geometry.Mat34x4, s
 			if kernel == KernelExact {
 				a.accumulateSlicesExact(w, workers, mats, slab, &counters[w])
 			} else {
-				a.accumulateSlicesRec(w, workers, mats, slab, &counters[w])
+				a.accumulateSlicesRec(w, workers, mats, slab, &counters[w], kernel == KernelSIMD)
 			}
 		}(w)
 	}
@@ -351,6 +378,9 @@ func accumulateSlab(dev *device.Device, a projAccess, mats []geometry.Mat34x4, s
 	}
 	dev.RecordKernel(updates)
 	dev.RecordKernelSamples(total.interior, total.border, total.skipped, total.reanchors)
+	if total.simdGroups != 0 || total.simdTail != 0 {
+		dev.RecordKernelVector(total.simdGroups, total.simdTail)
+	}
 	return nil
 }
 

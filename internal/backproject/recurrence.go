@@ -108,22 +108,28 @@ func (a *projAccess) interiorResidentRec(i int, ax, ay, az, xc, yc, zc float32) 
 	return iu >= 0 && iu+1 < a.nu && iv >= a.lo && iv+1 < a.hi
 }
 
-// interiorResidentFast decides residency for the recurrence kernel without
-// the lane catch-up: a direct float32 evaluation clearing every boundary by
-// predicateSlack proves the recurrence value is resident too. On the rare
-// boundary-grazing column it falls back to the exact recurrence predicate.
-func (a *projAccess) interiorResidentFast(i int, ax, ay, az, xc, yc, zc float32) bool {
+// interiorResidentFast decides residency for the recurrence and simd
+// kernels without the lane catch-up: a direct float32 evaluation clearing
+// every boundary by predicateSlack proves the kernel-arithmetic value is
+// resident too — the slack dominates both kernels' drift (the simd lane
+// drift of ≤ 3 step additions plus the refined reciprocal's 2⁻²² relative
+// error is even smaller than the recurrence's). On the rare
+// boundary-grazing column it falls back to the exact predicate of the
+// requested arithmetic.
+func (a *projAccess) interiorResidentFast(i int, ax, ay, az, xc, yc, zc float32, simd bool) bool {
 	fi := float32(i)
 	w := az*fi + zc
-	if w <= 0 {
-		return a.interiorResidentRec(i, ax, ay, az, xc, yc, zc)
+	if w > 0 {
+		rz := 1 / w
+		x := (ax*fi + xc) * rz
+		y := (ay*fi + yc) * rz
+		const d = predicateSlack
+		if x >= d && x <= float32(a.nu-1)-d && y >= float32(a.lo)+d && y <= float32(a.hi-1)-d {
+			return true
+		}
 	}
-	rz := 1 / w
-	x := (ax*fi + xc) * rz
-	y := (ay*fi + yc) * rz
-	const d = predicateSlack
-	if x >= d && x <= float32(a.nu-1)-d && y >= float32(a.lo)+d && y <= float32(a.hi-1)-d {
-		return true
+	if simd {
+		return a.interiorResidentSIMD(i, ax, ay, az, xc, yc, zc)
 	}
 	return a.interiorResidentRec(i, ax, ay, az, xc, yc, zc)
 }
@@ -147,38 +153,43 @@ func (a *projAccess) zeroContribRec(i int, ax, ay, az, xc, yc, zc float32) bool 
 	return iu < -1 || iu >= a.nu || iv < a.lo-1 || iv >= a.hi
 }
 
-// zeroContribFast is zeroContribRec's cheap form: a direct float32
-// evaluation past a zero boundary by predicateSlack proves the recurrence
-// value is past it too; boundary-grazing columns fall back to the exact
-// recurrence predicate.
-func (a *projAccess) zeroContribFast(i int, ax, ay, az, xc, yc, zc float32) bool {
+// zeroContribFast is the cheap form of the exact zero predicates: a direct
+// float32 evaluation past a zero boundary by predicateSlack proves the
+// kernel-arithmetic value (recurrence or simd, both drifting far less than
+// the slack) is past it too; boundary-grazing columns fall back to the
+// exact predicate of the requested arithmetic.
+func (a *projAccess) zeroContribFast(i int, ax, ay, az, xc, yc, zc float32, simd bool) bool {
 	fi := float32(i)
 	w := az*fi + zc
-	if w <= 0 {
-		return a.zeroContribRec(i, ax, ay, az, xc, yc, zc)
+	if w > 0 {
+		rz := 1 / w
+		// Generous headroom below MaxFloat32: the kernel rz² differs from
+		// this direct one by a relative drift ~1e-7, so requiring the
+		// direct weight comfortably finite proves the kernel weight
+		// finite too.
+		if !(rz*rz < 1e38) {
+			return false // evaluating a column is always safe; skipping needs proof
+		}
+		x := (ax*fi + xc) * rz
+		y := (ay*fi + yc) * rz
+		const d = predicateSlack
+		if x <= -1-d || x >= float32(a.nu)+d || y <= float32(a.lo-1)-d || y >= float32(a.hi)+d {
+			return true
+		}
 	}
-	rz := 1 / w
-	// Generous headroom below MaxFloat32: the recurrence rz² differs from
-	// this direct one by a relative drift ~1e-7, so requiring the direct
-	// weight comfortably finite proves the recurrence weight finite too.
-	if !(rz*rz < 1e38) {
-		return false // evaluating a column is always safe; skipping needs proof
-	}
-	x := (ax*fi + xc) * rz
-	y := (ay*fi + yc) * rz
-	const d = predicateSlack
-	if x <= -1-d || x >= float32(a.nu)+d || y <= float32(a.lo-1)-d || y >= float32(a.hi)+d {
-		return true
+	if simd {
+		return a.zeroContribSIMD(i, ax, ay, az, xc, yc, zc)
 	}
 	return a.zeroContribRec(i, ax, ay, az, xc, yc, zc)
 }
 
 // accumulateSlicesRec back-projects the k slices owned by worker w with the
-// recurrence kernel. Loop order is s-block → k-tile → k → j → s, i.e. the
+// recurrence kernel (simd=false) or its 8-wide AVX2 restructuring
+// (simd=true). Loop order is s-block → k-tile → k → j → s, i.e. the
 // voxel sweep is repeated per small group of projections (cache blocking);
 // per (row, projection) the column loop is clipped to its detector support
-// and split into border strips around a 4-wide unrolled interior.
-func (a *projAccess) accumulateSlicesRec(w, workers int, mats []geometry.Mat34x4, slab *volume.Volume, ctr *kernelCounters) {
+// and split into border strips around the fused interior.
+func (a *projAccess) accumulateSlicesRec(w, workers int, mats []geometry.Mat34x4, slab *volume.Volume, ctr *kernelCounters, simd bool) {
 	nx := slab.NX
 	for sb := 0; sb < a.np; sb += projBlock {
 		sEnd := sb + projBlock
@@ -201,7 +212,7 @@ func (a *projAccess) accumulateSlicesRec(w, workers int, mats []geometry.Mat34x4
 						xc := m.R0[1]*jf + m.R0[2]*kf + m.R0[3]
 						yc := m.R1[1]*jf + m.R1[2]*kf + m.R1[3]
 						zc := m.R2[1]*jf + m.R2[2]*kf + m.R2[3]
-						a.rowRec(out, s, ax, ay, az, xc, yc, zc, nx, ctr)
+						a.rowRec(out, s, ax, ay, az, xc, yc, zc, nx, ctr, simd)
 					}
 				}
 			}
@@ -211,9 +222,10 @@ func (a *projAccess) accumulateSlicesRec(w, workers int, mats []geometry.Mat34x4
 
 // rowRec processes one (output row, projection) pair: solve the support and
 // interior spans analytically, verify their endpoints with the exact
-// recurrence predicates, then walk the supported columns in 4-wide lane
-// groups.
-func (a *projAccess) rowRec(out []float32, s int, ax, ay, az, xc, yc, zc float32, nx int, ctr *kernelCounters) {
+// predicates of the requested arithmetic (recurrence or simd), then walk
+// the supported columns through that arithmetic's fused interior and
+// guarded border paths.
+func (a *projAccess) rowRec(out []float32, s int, ax, ay, az, xc, yc, zc float32, nx int, ctr *kernelCounters, simd bool) {
 	axd, ayd, azd := float64(ax), float64(ay), float64(az)
 	xcd, ycd, zcd := float64(xc), float64(yc), float64(zc)
 	zOK := zcd > 0 && azd*float64(nx-1)+zcd > 0
@@ -243,22 +255,42 @@ func (a *projAccess) rowRec(out []float32, s int, ax, ay, az, xc, yc, zc float32
 			ctr.skipped += int64(nx)
 			return
 		}
-		c0, c1 = a.supportSpan(axd, xcd, ayd, ycd, azd, zcd, nx)
-		i0, i1 = a.interiorSpan(axd, xcd, ayd, ycd, azd, zcd, nx)
+		// Fully-interior pre-accept, the mirror image of the pre-reject:
+		// both endpoints clearing every interiorSpan boundary by its
+		// half-pixel margin (padded past float64 product rounding) means
+		// the whole row is interior — the 0.5 margin dominates the
+		// kernels' float32 drift exactly as it does for the analytic
+		// solve, so [0,nx) is a sound interior span and the eight
+		// boundary divisions are skipped. Like the solve, the test is a
+		// pure function of the row constants: every decomposition
+		// accepts the same rows and splits them identically.
+		const md = 0.5 + 1e-9
+		ixl := md
+		ixh := float64(a.nu-1) - md
+		iyl := float64(a.lo) + md
+		iyh := float64(a.hi-1) - md
+		if ux0 > ixl*w0 && uxn > ixl*wn && ux0 < ixh*w0 && uxn < ixh*wn &&
+			uy0 > iyl*w0 && uyn > iyl*wn && uy0 < iyh*w0 && uyn < iyh*wn {
+			c0, c1 = 0, nx
+			i0, i1 = 0, nx
+		} else {
+			c0, c1 = a.supportSpan(axd, xcd, ayd, ycd, azd, zcd, nx)
+			i0, i1 = a.interiorSpan(axd, xcd, ayd, ycd, azd, zcd, nx)
+		}
 		// The analytic solve carries a half-pixel margin; the float32
 		// predicates pin the final boundaries so the fast paths stay
 		// sound even if the float64 clip were off by a column.
-		for i0 < i1 && !a.interiorResidentFast(i0, ax, ay, az, xc, yc, zc) {
+		for i0 < i1 && !a.interiorResidentFast(i0, ax, ay, az, xc, yc, zc, simd) {
 			i0++
 		}
-		for i0 < i1 && !a.interiorResidentFast(i1-1, ax, ay, az, xc, yc, zc) {
+		for i0 < i1 && !a.interiorResidentFast(i1-1, ax, ay, az, xc, yc, zc, simd) {
 			i1--
 		}
 		if c0 < c1 {
-			for c0 > 0 && !a.zeroContribFast(c0-1, ax, ay, az, xc, yc, zc) {
+			for c0 > 0 && !a.zeroContribFast(c0-1, ax, ay, az, xc, yc, zc, simd) {
 				c0--
 			}
-			for c1 < nx && !a.zeroContribFast(c1, ax, ay, az, xc, yc, zc) {
+			for c1 < nx && !a.zeroContribFast(c1, ax, ay, az, xc, yc, zc, simd) {
 				c1++
 			}
 		}
@@ -290,6 +322,21 @@ func (a *projAccess) rowRec(out []float32, s int, ax, ay, az, xc, yc, zc float32
 	// allocator spill lane values and loop counters to the stack on
 	// every iteration. Dedicated functions give each loop its own
 	// allocation with a small live set.
+	if simd {
+		// One assembly launch covers the whole supported span: 8-lane
+		// groups wholly inside [i0,i1) run the unguarded paired-gather
+		// body, every other covered group runs the guarded texture-border
+		// body under a lane mask. Interior columns in partial groups are
+		// counted as scalar-tail samples.
+		if i0 >= i1 {
+			i0, i1 = c0, c0
+		}
+		ctr.reanchors += a.fusedSpanSIMD(out, s, c0, c1, i0, i1, ax, ay, az, xc, yc, zc)
+		fg, ts := simdLaneCounts(i0, i1)
+		ctr.simdGroups += fg
+		ctr.simdTail += ts
+		return
+	}
 	if i0 < i1 {
 		// Pair-aligned fully-interior core; the ≤1 unaligned column on
 		// each side joins the border ranges below (the guarded gather is
@@ -416,17 +463,6 @@ func (a *projAccess) guardedCols(out []float32, s, g0, g1 int, ax, ay, az, xc, y
 	if g0 >= g1 {
 		return 0
 	}
-	data := a.data[s*a.sStride:]
-	rowOff := a.rowOff
-	lo := a.lo
-	hi := a.hi
-	nuRow := a.nu
-	// The guards below establish exactly the bounds the compiler would
-	// re-check on every slice access (iv ∈ [lo,hi) before the row-table
-	// load, iu ∈ [0,nu) before each pixel load), so the loads themselves
-	// run on raw pointers.
-	dp := unsafe.Pointer(unsafe.SliceData(data))
-	rp := unsafe.Pointer(unsafe.SliceData(rowOff))
 	ax2, ay2, az2 := ax*2, ay*2, az*2
 	var xs, ys, w2s [reanchorPeriod]float32
 	segs := int64(0)
@@ -470,37 +506,58 @@ func (a *projAccess) guardedCols(out []float32, s, g0, g1 int, ax, ay, az, xc, y
 			v1 += ay2
 			w1 += az2
 		}
-		for i := seg0; i < seg1; i++ {
-			q := (i - b) & (reanchorPeriod - 1)
-			x := xs[q]
-			y := ys[q]
-			iu := int(floor32(x))
-			iv := int(floor32(y))
-			eu := x - float32(iu)
-			ev := y - float32(iv)
-			var p00, p01, p10, p11 float32
-			if iv >= lo && iv < hi {
-				r := *(*int)(unsafe.Add(rp, uintptr(iv-lo)*8))
-				if iu >= 0 && iu < nuRow {
-					p00 = *(*float32)(unsafe.Add(dp, uintptr(r+iu)*4))
-				}
-				if iu+1 >= 0 && iu+1 < nuRow {
-					p01 = *(*float32)(unsafe.Add(dp, uintptr(r+iu+1)*4))
-				}
-			}
-			if iv+1 >= lo && iv+1 < hi {
-				r := *(*int)(unsafe.Add(rp, uintptr(iv+1-lo)*8))
-				if iu >= 0 && iu < nuRow {
-					p10 = *(*float32)(unsafe.Add(dp, uintptr(r+iu)*4))
-				}
-				if iu+1 >= 0 && iu+1 < nuRow {
-					p11 = *(*float32)(unsafe.Add(dp, uintptr(r+iu+1)*4))
-				}
-			}
-			t1 := p00 + eu*(p01-p00)
-			t2 := p10 + eu*(p11-p10)
-			out[i] += w2s[q] * (t1 + ev*(t2-t1))
-		}
+		a.replayGuarded(out, s, b, seg0, seg1, &xs, &ys, &w2s)
 	}
 	return segs
+}
+
+// replayGuarded applies the guarded 2×2 gather to columns [seg0,seg1) of
+// one anchor segment, reading the precomputed coordinates and weights from
+// the q = i−b slots of the stack arrays: the texture-border semantics —
+// every neighbour access guarded against the readable window, exactly the
+// exact kernel's border behaviour — that guardedColsSIMD and the assembly
+// span kernel's guarded body replicate arithmetic-for-arithmetic. floor32,
+// not int truncation, because border coordinates may be negative.
+func (a *projAccess) replayGuarded(out []float32, s, b, seg0, seg1 int, xs, ys, w2s *[reanchorPeriod]float32) {
+	data := a.data[s*a.sStride:]
+	lo := a.lo
+	hi := a.hi
+	nuRow := a.nu
+	// The guards below establish exactly the bounds the compiler would
+	// re-check on every slice access (iv ∈ [lo,hi) before the row-table
+	// load, iu ∈ [0,nu) before each pixel load), so the loads themselves
+	// run on raw pointers.
+	dp := unsafe.Pointer(unsafe.SliceData(data))
+	rp := unsafe.Pointer(unsafe.SliceData(a.rowOff))
+	for i := seg0; i < seg1; i++ {
+		q := (i - b) & (reanchorPeriod - 1)
+		x := xs[q]
+		y := ys[q]
+		iu := int(floor32(x))
+		iv := int(floor32(y))
+		eu := x - float32(iu)
+		ev := y - float32(iv)
+		var p00, p01, p10, p11 float32
+		if iv >= lo && iv < hi {
+			r := *(*int)(unsafe.Add(rp, uintptr(iv-lo)*8))
+			if iu >= 0 && iu < nuRow {
+				p00 = *(*float32)(unsafe.Add(dp, uintptr(r+iu)*4))
+			}
+			if iu+1 >= 0 && iu+1 < nuRow {
+				p01 = *(*float32)(unsafe.Add(dp, uintptr(r+iu+1)*4))
+			}
+		}
+		if iv+1 >= lo && iv+1 < hi {
+			r := *(*int)(unsafe.Add(rp, uintptr(iv+1-lo)*8))
+			if iu >= 0 && iu < nuRow {
+				p10 = *(*float32)(unsafe.Add(dp, uintptr(r+iu)*4))
+			}
+			if iu+1 >= 0 && iu+1 < nuRow {
+				p11 = *(*float32)(unsafe.Add(dp, uintptr(r+iu+1)*4))
+			}
+		}
+		t1 := p00 + eu*(p01-p00)
+		t2 := p10 + eu*(p11-p10)
+		out[i] += w2s[q] * (t1 + ev*(t2-t1))
+	}
 }

@@ -1,0 +1,88 @@
+//go:build amd64
+
+package backproject
+
+import (
+	"unsafe"
+
+	"distfdk/internal/cpufeat"
+)
+
+// simdAvailable gates KernelSIMD dispatch: the assembly needs AVX2 (and an
+// OS that saves YMM state), probed once at startup.
+func simdAvailable() bool { return cpufeat.AVX2() }
+
+// simdRowArgs carries one (row, projection) launch into the assembly
+// kernel. Field offsets are hard-coded in simd_amd64.s — keep them in
+// sync: data 0, rows 8, out 16, then four int64 span bounds from 24,
+// three int32 window extents from 56, and six float32 row constants
+// from 68.
+type simdRowArgs struct {
+	data  unsafe.Pointer // base of projection s's samples
+	rows  unsafe.Pointer // int32 row-offset table (rowIdx32)
+	out   unsafe.Pointer // output row base
+	c0    int64          // first covered column (inclusive)
+	c1    int64          // last covered column (exclusive)
+	f0    int64          // first interior column (inclusive)
+	f1    int64          // last interior column (exclusive)
+	lo    int32          // first readable global detector row
+	nu    int32          // detector columns per row
+	nrows int32          // readable detector rows (hi − lo)
+	ax    float32
+	ay    float32
+	az    float32
+	xc    float32
+	yc    float32
+	zc    float32
+}
+
+// fusedSpanAVX2 back-projects the covered columns [c0,c1) of one row with
+// 8-wide AVX2 vectors per the SIMD coordinate contract in simd.go: groups
+// wholly inside the interior sub-span [f0,f1) run unguarded paired
+// gathers, the rest run the guarded texture-border body. Implemented in
+// simd_amd64.s; requires AVX2.
+//
+//go:noescape
+func fusedSpanAVX2(a *simdRowArgs)
+
+// rcpNR returns the simd contract's reciprocal of w: the hardware RCPSS
+// approximation refined by one Newton–Raphson step, rcp·(2 − w·rcp).
+// RCPSS and RCPPS share the same approximation per lane, so this scalar
+// helper reproduces the vector kernel's reciprocal bit-for-bit (asserted
+// end-to-end by TestSIMDSpanMatchesGuardedEmulation). Requires AVX;
+// only reachable behind simdAvailable or an explicit cpufeat gate.
+//
+//go:noescape
+func rcpNR(w float32) float32
+
+// fusedSpanSIMD wraps the assembly kernel with the projAccess addressing
+// (projection-s base, int32 row table) and returns the number of
+// re-anchor segments the covered span touches, mirroring fusedInterior's
+// counter contract. [f0,f1) must be the interior sub-span of [c0,c1)
+// (possibly empty: f0 == f1). prepareSIMD must have built rowIdx32 before
+// any call.
+func (a *projAccess) fusedSpanSIMD(out []float32, s, c0, c1, f0, f1 int, ax, ay, az, xc, yc, zc float32) int64 {
+	if c0 >= c1 {
+		return 0
+	}
+	// Field-by-field assignment: a composite literal here is built in a
+	// temporary and block-copied (runtime.duffcopy) because the address
+	// is taken — measurable at this call rate.
+	var args simdRowArgs
+	args.data = unsafe.Pointer(unsafe.SliceData(a.data[s*a.sStride:]))
+	args.rows = unsafe.Pointer(unsafe.SliceData(a.rowIdx32))
+	args.out = unsafe.Pointer(unsafe.SliceData(out))
+	args.c0 = int64(c0)
+	args.c1 = int64(c1)
+	args.f0 = int64(f0)
+	args.f1 = int64(f1)
+	args.lo = int32(a.lo)
+	args.nu = int32(a.nu)
+	args.nrows = int32(a.hi - a.lo)
+	args.ax, args.ay, args.az = ax, ay, az
+	args.xc, args.yc, args.zc = xc, yc, zc
+	fusedSpanAVX2(&args)
+	b0 := c0 &^ (reanchorPeriod - 1)
+	b1 := (c1 - 1) &^ (reanchorPeriod - 1)
+	return int64((b1-b0)/reanchorPeriod) + 1
+}

@@ -1,0 +1,468 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2 implementation of the SIMD coordinate contract (see simd.go).
+//
+// One call covers a row's whole supported span [c0,c1): 8-column groups
+// wholly inside the interior sub-span [f0,f1) run the unguarded fast body
+// (paired 64-bit gathers), every other covered group runs the guarded body
+// (per-neighbour masked gathers with texture-border semantics). Both
+// bodies read the same lane registers, so a column computes the same value
+// whichever body its group lands in — the decomposition invariance the
+// kernel promises.
+//
+// Register plan, held across the whole kernel:
+//   Y0/Y1/Y2  = u/v/w coordinate lanes (8 columns per vector)
+//   Y3/Y4/Y5  = per-group steps 8·ax / 8·ay / 8·az (power-of-two: exact)
+//   Y6        = 2.0 broadcast (Newton–Raphson constant)
+//   Y7        = active-lane mask (guarded groups; fast-body scratch)
+//   Y8..Y15   = scratch
+//   AX = args   DI = data   SI = rows   DX = out
+//   BX = c0     R9 = c1     CX = f0 (f1 compared from memory)
+//   R8 = anchor b   R10 = group base   R11 = segment end
+//   R12 = segment start   R13 = scratch
+//
+// Fast-body soundness: every lane of a fast group satisfies the interior
+// residency predicate under this exact arithmetic (rowRec verifies span
+// endpoints with interiorResidentSIMD; the analytic span's half-pixel
+// margin covers the in-between columns), so the unguarded loads stay in
+// bounds, the 8-byte pair loads cover data[idx] and data[idx+1] inside one
+// detector row, and the truncating float→int conversion equals floor
+// (x, y ≥ 0). Guarded-body soundness: loads happen only where the
+// neighbour masks prove them in range; masked-off lanes may compute
+// garbage (even NaN) — their gathers and the accumulate are
+// mask-suppressed, and lane arithmetic never mixes lanes.
+
+// lane07: the int32 vector {0,1,...,7} for anchor init and range masks.
+DATA lane07<>+0(SB)/4, $0
+DATA lane07<>+4(SB)/4, $1
+DATA lane07<>+8(SB)/4, $2
+DATA lane07<>+12(SB)/4, $3
+DATA lane07<>+16(SB)/4, $4
+DATA lane07<>+20(SB)/4, $5
+DATA lane07<>+24(SB)/4, $6
+DATA lane07<>+28(SB)/4, $7
+GLOBL lane07<>(SB), RODATA|NOPTR, $32
+
+DATA two32<>+0(SB)/4, $0x40000000 // float32(2)
+GLOBL two32<>(SB), RODATA|NOPTR, $4
+
+DATA eight32<>+0(SB)/4, $0x41000000 // float32(8)
+GLOBL eight32<>(SB), RODATA|NOPTR, $4
+
+// All-lanes int32 constants for the guarded body's range masks; memory
+// operands here save materializing them in registers per group.
+DATA minus1v<>+0(SB)/8, $0xffffffffffffffff
+DATA minus1v<>+8(SB)/8, $0xffffffffffffffff
+DATA minus1v<>+16(SB)/8, $0xffffffffffffffff
+DATA minus1v<>+24(SB)/8, $0xffffffffffffffff
+GLOBL minus1v<>(SB), RODATA|NOPTR, $32
+
+DATA minus2v<>+0(SB)/8, $0xfffffffefffffffe
+DATA minus2v<>+8(SB)/8, $0xfffffffefffffffe
+DATA minus2v<>+16(SB)/8, $0xfffffffefffffffe
+DATA minus2v<>+24(SB)/8, $0xfffffffefffffffe
+GLOBL minus2v<>(SB), RODATA|NOPTR, $32
+
+// Frame layout (offsets from the pseudo-SP):
+//   tmp-8(SP)     8B   GPR→vector broadcast staging
+//   mr0S-40(SP)  32B   guarded: row-0 readable mask
+//   mr1S-72(SP)  32B   guarded: row-1 readable mask
+//   mu0S-104(SP) 32B   guarded: column iu readable mask
+//   mu1S-136(SP) 32B   guarded: column iu+1 readable mask
+//   axv-168(SP)  32B   broadcast row constants (segment re-anchor reads
+//   ayv-200(SP)  32B   them as memory operands — six fewer front-end ops
+//   azv-232(SP)  32B   per segment than re-broadcasting)
+//   xcv-264(SP)  32B
+//   ycv-296(SP)  32B
+//   zcv-328(SP)  32B
+//   fsS-336(SP)   8B   first 8-aligned group base inside [f0,f1)
+//   feGS-344(SP)  8B   first 8-aligned group base at/past f1−7
+//   feS-352(SP)   8B   fast-window end for the current segment
+//
+// The grid of group bases is 8-aligned (anchors are 32-aligned), so the
+// old per-group test "base ≥ f0 && base+8 ≤ f1" is exactly the window
+// "base ∈ [fs, feG)" with fs = (f0+7)&^7 and feG = f1&^7, and within a
+// segment the fast groups form one contiguous run [fs, min(feG, segend)).
+// That lets the hot path loop on a single compare instead of re-deciding
+// fast-vs-guarded every group.
+
+// func fusedSpanAVX2(a *simdRowArgs)
+TEXT ·fusedSpanAVX2(SB), NOSPLIT, $352-8
+	MOVQ a+0(FP), AX
+	MOVQ 0(AX), DI  // data
+	MOVQ 8(AX), SI  // rows (int32 table)
+	MOVQ 16(AX), DX // out
+	MOVQ 24(AX), BX // c0
+	MOVQ 32(AX), R9 // c1
+	MOVQ 40(AX), CX // f0
+
+	// Broadcast the six row constants once; build the step vectors 8·a
+	// (exact power-of-two scaling, matching the scalar twin's ax*8 to
+	// the bit) from the same broadcasts.
+	VBROADCASTSS eight32<>(SB), Y8
+	VBROADCASTSS 68(AX), Y9
+	VMOVUPS      Y9, axv-168(SP)
+	VMULPS       Y8, Y9, Y3
+	VBROADCASTSS 72(AX), Y9
+	VMOVUPS      Y9, ayv-200(SP)
+	VMULPS       Y8, Y9, Y4
+	VBROADCASTSS 76(AX), Y9
+	VMOVUPS      Y9, azv-232(SP)
+	VMULPS       Y8, Y9, Y5
+	VBROADCASTSS 80(AX), Y9
+	VMOVUPS      Y9, xcv-264(SP)
+	VBROADCASTSS 84(AX), Y9
+	VMOVUPS      Y9, ycv-296(SP)
+	VBROADCASTSS 88(AX), Y9
+	VMOVUPS      Y9, zcv-328(SP)
+	VBROADCASTSS two32<>(SB), Y6
+
+	// Fast-window bounds on the 8-aligned group grid.
+	LEAQ 7(CX), R13
+	ANDQ $-8, R13
+	MOVQ R13, fsS-336(SP)
+	MOVQ 48(AX), R13
+	ANDQ $-8, R13
+	MOVQ R13, feGS-344(SP)
+
+	// First anchor: b = c0 &^ 31 (fixed absolute columns).
+	MOVQ BX, R8
+	ANDQ $-32, R8
+
+segment:
+	CMPQ R8, R9
+	JGE  done
+
+	// R11 = segment end = min(b+32, c1); R12 = segment start = max(b, c0).
+	LEAQ 32(R8), R11
+	CMPQ R11, R9
+	JLE  g1done
+	MOVQ R9, R11
+
+g1done:
+	MOVQ R8, R12
+	CMPQ R12, BX
+	JGE  g0done
+	MOVQ BX, R12
+
+g0done:
+	// Clamp the fast window to this segment so the tight loop never runs
+	// through a re-anchor point.
+	MOVQ feGS-344(SP), R13
+	CMPQ R13, R11
+	JLE  feok
+	MOVQ R11, R13
+
+feok:
+	MOVQ R13, feS-352(SP)
+
+	// Anchor init: lane j holds op·float32(b+j) + oc — separate multiply
+	// and add, never fused, per the contract.
+	MOVL         R8, tmp-8(SP)
+	VPBROADCASTD tmp-8(SP), Y8
+	VPADDD       lane07<>(SB), Y8, Y8
+	VCVTDQ2PS    Y8, Y8
+	VMULPS       axv-168(SP), Y8, Y0
+	VADDPS       xcv-264(SP), Y0, Y0
+	VMULPS       ayv-200(SP), Y8, Y1
+	VADDPS       ycv-296(SP), Y1, Y1
+	VMULPS       azv-232(SP), Y8, Y2
+	VADDPS       zcv-328(SP), Y2, Y2
+
+	MOVQ R8, R10 // group base = b
+
+group:
+	CMPQ R10, R11
+	JGE  nextseg
+	CMPQ R10, fsS-336(SP)
+	JL   slow
+	CMPQ R10, feS-352(SP)
+	JGE  slow
+
+	// ---------------- fast body: 8 interior columns -------------------
+	// Every group in [fs, fe) sits wholly inside the interior [f0,f1)
+	// and is automatically fully active (f0≥c0, f1≤c1).
+
+fastloop:
+	// rz = rcp(w) refined by one Newton–Raphson step: rcp·(2 − w·rcp).
+	VRCPPS Y2, Y8
+	VMULPS Y2, Y8, Y9
+	VSUBPS Y9, Y6, Y9
+	VMULPS Y9, Y8, Y8 // rz
+
+	// x = u·rz, y = v·rz; integer parts by truncation (== floor: x,y ≥ 0).
+	VMULPS     Y0, Y8, Y9  // x
+	VMULPS     Y1, Y8, Y10 // y
+	VCVTTPS2DQ Y9, Y11     // iu
+	VCVTTPS2DQ Y10, Y12    // iv
+	VCVTDQ2PS  Y11, Y13
+	VSUBPS     Y13, Y9, Y9 // eu = x − float32(iu)
+	VCVTDQ2PS  Y12, Y13
+	VSUBPS     Y13, Y10, Y10 // ev
+	VMULPS     Y8, Y8, Y8    // rz²
+
+	// Footprint rows. A group's eight detector rows are usually one and
+	// the same (the vertical coordinate drifts slowly along a volume
+	// row): broadcast-load the two adjacent table entries and skip the
+	// gathers. Lanes that disagree fall back to gathering per lane.
+	VPBROADCASTD 56(AX), Y13
+	VPSUBD       Y13, Y12, Y12 // ivr = iv − lo
+	VPBROADCASTD X12, Y13
+	VPCMPEQD     Y12, Y13, Y14
+	VPMOVMSKB    Y14, R13
+	CMPL         R13, $-1
+	JNE          rowgather
+	MOVL         X12, R13              // ivr, identical in every lane
+	VPBROADCASTD (SI)(R13*4), Y14      // r0
+	VPBROADCASTD 4(SI)(R13*4), Y15     // r1
+	JMP          rowsdone
+
+rowgather:
+	// Each gather zeroes its mask register and merges into its
+	// destination, so masks are remade and destinations zeroed every
+	// time (the fresh destination also snaps the false loop-carried
+	// dependency gather merging would create).
+	VPCMPEQD   Y13, Y13, Y13
+	VPXOR      Y14, Y14, Y14
+	VPGATHERDD Y13, (SI)(Y12*4), Y14 // r0
+	VPCMPEQD   Y13, Y13, Y13
+	VPSUBD     Y13, Y12, Y12         // ivr + 1
+	VPCMPEQD   Y13, Y13, Y13
+	VPXOR      Y15, Y15, Y15
+	VPGATHERDD Y13, (SI)(Y12*4), Y15 // r1
+
+rowsdone:
+	VPADDD Y11, Y14, Y14 // idx00 per lane
+	VPADDD Y11, Y15, Y15 // idx10 per lane
+
+	// Paired data gathers: p00 and p01 are adjacent float32s, so one
+	// 64-bit gather fetches the whole top edge of a footprint (same for
+	// p10/p11) — half the load-port traffic of four 32-bit gathers. Each
+	// VPGATHERDQ takes four lanes of 32-bit indices from an X register;
+	// the VPERMQ pre-swizzle makes those quartets lanes {0,1,4,5} and
+	// {2,3,6,7}, exactly the pairs VPUNPCKL/HDQ duplicate eu/ev/rz² into
+	// — and the two results then compress with a single in-lane shuffle.
+	VPERMQ $0xD8, Y14, Y14
+	VPERMQ $0xD8, Y15, Y15
+
+	VPCMPEQD   Y13, Y13, Y13
+	VPXOR      Y11, Y11, Y11
+	VPGATHERDQ Y13, (DI)(X14*4), Y11 // lanes 0,1,4,5: [p00|p01]
+	VPCMPEQD   Y13, Y13, Y13
+	VPXOR      Y12, Y12, Y12
+	VPGATHERDQ Y13, (DI)(X15*4), Y12 // lanes 0,1,4,5: [p10|p11]
+
+	VEXTRACTI128 $1, Y14, X14
+	VEXTRACTI128 $1, Y15, X15
+	VPCMPEQD     Y13, Y13, Y13
+	VPXOR        Y7, Y7, Y7
+	VPGATHERDQ   Y13, (DI)(X14*4), Y7 // lanes 2,3,6,7: [p00|p01]
+	VPCMPEQD     Y13, Y13, Y13
+	VPXOR        Y14, Y14, Y14
+	VPGATHERDQ   Y13, (DI)(X15*4), Y14 // lanes 2,3,6,7: [p10|p11]
+
+	// Pair-packed interpolation. Even slots hold the column values; odd
+	// slots compute harmless garbage the final compress discards. VPSRLQ
+	// parks each pair's high float (p·1) over its low (p·0), giving the
+	// edge difference with one subtract.
+	VPSRLQ     $32, Y11, Y15
+	VSUBPS     Y11, Y15, Y15 // p01 − p00
+	VPUNPCKLDQ Y9, Y9, Y13   // eu for lanes 0,1,4,5
+	VMULPS     Y13, Y15, Y15
+	VADDPS     Y15, Y11, Y11 // t1
+	VPSRLQ     $32, Y12, Y15
+	VSUBPS     Y12, Y15, Y15 // p11 − p10
+	VMULPS     Y13, Y15, Y15
+	VADDPS     Y15, Y12, Y12 // t2
+	VSUBPS     Y11, Y12, Y12 // t2 − t1
+	VPUNPCKLDQ Y10, Y10, Y13 // ev
+	VMULPS     Y13, Y12, Y12
+	VADDPS     Y12, Y11, Y11 // t1 + ev·(t2−t1)
+	VPUNPCKLDQ Y8, Y8, Y13   // rz²
+	VMULPS     Y13, Y11, Y11 // res, lanes 0,1,4,5 in even slots
+
+	VPSRLQ     $32, Y7, Y15
+	VSUBPS     Y7, Y15, Y15
+	VPUNPCKHDQ Y9, Y9, Y13 // eu for lanes 2,3,6,7
+	VMULPS     Y13, Y15, Y15
+	VADDPS     Y15, Y7, Y7 // t1
+	VPSRLQ     $32, Y14, Y15
+	VSUBPS     Y14, Y15, Y15
+	VMULPS     Y13, Y15, Y15
+	VADDPS     Y15, Y14, Y14 // t2
+	VSUBPS     Y7, Y14, Y14
+	VPUNPCKHDQ Y10, Y10, Y13
+	VMULPS     Y13, Y14, Y14
+	VADDPS     Y14, Y7, Y7
+	VPUNPCKHDQ Y8, Y8, Y13
+	VMULPS     Y13, Y7, Y7 // res, lanes 2,3,6,7 in even slots
+
+	// Compress the even slots back to column order and accumulate —
+	// plain unmasked load/add/store, the group is fully active.
+	VSHUFPS $0x88, Y7, Y11, Y13
+	VMOVUPS (DX)(R10*4), Y15
+	VADDPS  Y13, Y15, Y15
+	VMOVUPS Y15, (DX)(R10*4)
+	VADDPS  Y3, Y0, Y0
+	VADDPS  Y4, Y1, Y1
+	VADDPS  Y5, Y2, Y2
+	ADDQ    $8, R10
+	CMPQ    R10, feS-352(SP)
+	JL      fastloop
+	JMP     group
+
+slow:
+	// Groups wholly before the segment start only advance the lanes —
+	// each addition rounds, so skipping them would desync the contract.
+	LEAQ 8(R10), R13
+	CMPQ R13, R12
+	JLE  advance
+
+	// ---------------- guarded body: texture-border group --------------
+	// Active-lane mask: lane j live iff start ≤ gb+j < end:
+	// (lane07 > start−gb−1) AND (end−gb > lane07).
+	MOVQ         R12, R13
+	SUBQ         R10, R13
+	DECQ         R13
+	MOVL         R13, tmp-8(SP)
+	VPBROADCASTD tmp-8(SP), Y8
+	VMOVDQU      lane07<>(SB), Y9
+	VPCMPGTD     Y8, Y9, Y7
+	MOVQ         R11, R13
+	SUBQ         R10, R13
+	MOVL         R13, tmp-8(SP)
+	VPBROADCASTD tmp-8(SP), Y10
+	VPCMPGTD     Y9, Y10, Y11
+	VPAND        Y11, Y7, Y7
+
+	// Same contract arithmetic as the fast body, with floor instead of
+	// truncation — border x, y may be negative.
+	VRCPPS     Y2, Y8
+	VMULPS     Y2, Y8, Y9
+	VSUBPS     Y9, Y6, Y9
+	VMULPS     Y9, Y8, Y8 // rz
+	VMULPS     Y0, Y8, Y9  // x
+	VMULPS     Y1, Y8, Y10 // y
+	VMULPS     Y8, Y8, Y8  // rz²
+	VROUNDPS   $1, Y9, Y11
+	VROUNDPS   $1, Y10, Y12
+	VSUBPS     Y11, Y9, Y9   // eu = x − floor(x)
+	VSUBPS     Y12, Y10, Y10 // ev
+	VCVTTPS2DQ Y11, Y11      // iu
+	VCVTTPS2DQ Y12, Y12      // iv
+
+	VPBROADCASTD 56(AX), Y13
+	VPSUBD       Y13, Y12, Y12 // ivr = iv − lo
+
+	// Neighbour masks, exactly replayGuarded's guards: a load happens
+	// iff its detector row ∈ [lo,hi) and its column ∈ [0,nu), tested in
+	// the shifted frame ivr ∈ [0,nrows). Each row mask folds in the
+	// active-lane mask so dead lanes never gather.
+	VPBROADCASTD 60(AX), Y15          // nu
+	VPCMPGTD     minus1v<>(SB), Y11, Y14 // iu ≥ 0
+	VPCMPGTD     Y11, Y15, Y13        // iu < nu
+	VPAND        Y13, Y14, Y14
+	VMOVDQU      Y14, mu0S-104(SP)
+	VPCMPEQD     Y13, Y13, Y13
+	VPADDD       Y13, Y15, Y15        // nu−1
+	VPCMPGTD     Y11, Y15, Y15        // iu+1 < nu
+	VPCMPGTD     minus2v<>(SB), Y11, Y14 // iu+1 ≥ 0
+	VPAND        Y15, Y14, Y14
+	VMOVDQU      Y14, mu1S-136(SP)
+	VPBROADCASTD 64(AX), Y15          // nrows
+	VPCMPGTD     minus1v<>(SB), Y12, Y14 // ivr ≥ 0
+	VPCMPGTD     Y12, Y15, Y13        // ivr < nrows
+	VPAND        Y13, Y14, Y14
+	VPAND        Y7, Y14, Y14
+	VMOVDQU      Y14, mr0S-40(SP)
+	VPCMPEQD     Y13, Y13, Y13
+	VPADDD       Y13, Y15, Y15        // nrows−1
+	VPCMPGTD     Y12, Y15, Y15        // ivr+1 < nrows
+	VPCMPGTD     minus2v<>(SB), Y12, Y14 // ivr+1 ≥ 0
+	VPAND        Y15, Y14, Y14
+	VPAND        Y7, Y14, Y14
+	VMOVDQU      Y14, mr1S-72(SP)
+
+	// Row-offset gathers under the row masks; suppressed lanes keep the
+	// zeroed destination, and their data gathers are masked off too.
+	VPXOR      Y14, Y14, Y14
+	VMOVDQU    mr0S-40(SP), Y13
+	VPGATHERDD Y13, (SI)(Y12*4), Y14 // r0
+	VPCMPEQD   Y13, Y13, Y13
+	VPSUBD     Y13, Y12, Y12         // ivr + 1
+	VPXOR      Y15, Y15, Y15
+	VMOVDQU    mr1S-72(SP), Y13
+	VPGATHERDD Y13, (SI)(Y12*4), Y15 // r1
+	VPADDD     Y11, Y14, Y14         // idx00
+	VPADDD     Y11, Y15, Y15         // idx10
+
+	// Four guarded 32-bit gathers: mask(p_rc) = mrR AND muC; a neighbour
+	// outside the window contributes exactly +0, the texture border.
+	VMOVDQU    mr0S-40(SP), Y13
+	VPAND      mu0S-104(SP), Y13, Y13
+	VPXOR      Y11, Y11, Y11
+	VGATHERDPS Y13, (DI)(Y14*4), Y11 // p00
+	VPCMPEQD   Y13, Y13, Y13
+	VPSUBD     Y13, Y14, Y14         // idx00 + 1
+	VMOVDQU    mr0S-40(SP), Y13
+	VPAND      mu1S-136(SP), Y13, Y13
+	VPXOR      Y12, Y12, Y12
+	VGATHERDPS Y13, (DI)(Y14*4), Y12 // p01
+	VSUBPS     Y11, Y12, Y12
+	VMULPS     Y9, Y12, Y12
+	VADDPS     Y11, Y12, Y12         // t1
+
+	VMOVDQU    mr1S-72(SP), Y13
+	VPAND      mu0S-104(SP), Y13, Y13
+	VPXOR      Y11, Y11, Y11
+	VGATHERDPS Y13, (DI)(Y15*4), Y11 // p10
+	VPCMPEQD   Y13, Y13, Y13
+	VPSUBD     Y13, Y15, Y15         // idx10 + 1
+	VMOVDQU    mr1S-72(SP), Y13
+	VPAND      mu1S-136(SP), Y13, Y13
+	VPXOR      Y14, Y14, Y14
+	VGATHERDPS Y13, (DI)(Y15*4), Y14 // p11
+	VSUBPS     Y11, Y14, Y14
+	VMULPS     Y9, Y14, Y14
+	VADDPS     Y11, Y14, Y14         // t2
+
+	// out[gb..gb+8) += rz²·(t1 + ev·(t2 − t1)), masked load/add/store.
+	VSUBPS     Y12, Y14, Y14
+	VMULPS     Y10, Y14, Y14
+	VADDPS     Y12, Y14, Y14
+	VMULPS     Y8, Y14, Y14
+	VMASKMOVPS (DX)(R10*4), Y7, Y13
+	VADDPS     Y14, Y13, Y13
+	VMASKMOVPS Y13, Y7, (DX)(R10*4)
+
+advance:
+	VADDPS Y3, Y0, Y0
+	VADDPS Y4, Y1, Y1
+	VADDPS Y5, Y2, Y2
+	ADDQ   $8, R10
+	JMP    group
+
+nextseg:
+	ADDQ $32, R8
+	JMP  segment
+
+done:
+	VZEROUPPER
+	RET
+
+// func rcpNR(w float32) float32
+//
+// Scalar twin of the vector reciprocal: RCPSS yields the identical lane
+// approximation to RCPPS, and the Newton step repeats the vector
+// sequence operation for operation.
+TEXT ·rcpNR(SB), NOSPLIT, $0-12
+	VMOVSS w+0(FP), X0
+	VRCPSS X0, X0, X1
+	VMOVSS two32<>(SB), X2
+	VMULSS X1, X0, X3 // w·rcp
+	VSUBSS X3, X2, X3 // 2 − w·rcp
+	VMULSS X3, X1, X1 // rcp·(2 − w·rcp)
+	VMOVSS X1, ret+8(FP)
+	RET

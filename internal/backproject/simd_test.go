@@ -1,0 +1,510 @@
+package backproject
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distfdk/internal/cpufeat"
+	"distfdk/internal/device"
+	"distfdk/internal/geometry"
+	"distfdk/internal/telemetry"
+	"distfdk/internal/volume"
+)
+
+// The simd contract's drift property, mirroring TestRecurrenceDriftProperty
+// for the 8-wide lane structure: the value lane i&7 holds when its group
+// reaches column i must be simdCoords(i, …) to the last bit, for any span
+// the kernel walks — the walker below reproduces the kernel's exact
+// structure (anchor eval at b..b+7, whole-vector advances of 8·a per group,
+// including advances through groups the span never samples). Spans of width
+// 1..31 are exercised explicitly: they are the masked-tail cases, and their
+// anchor catch-up may straddle 8-lane group boundaries. Pure Go — runs on
+// every architecture.
+func TestSIMDDriftProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 2000; trial++ {
+		ax := float32(rng.NormFloat64() * 0.3)
+		ay := float32(rng.NormFloat64() * 0.3)
+		az := float32(rng.NormFloat64() * 0.01)
+		xc := float32(rng.NormFloat64() * 50)
+		yc := float32(rng.NormFloat64() * 50)
+		zc := float32(0.1 + rng.Float64()*3)
+		nx := 1 + rng.Intn(4*reanchorPeriod)
+		c0 := rng.Intn(nx)
+		var c1 int
+		if trial%2 == 0 {
+			// Narrow spans: width 1..31, the masked-tail regime.
+			c1 = c0 + 1 + rng.Intn(reanchorPeriod-1)
+			if c1 > nx {
+				c1 = nx
+			}
+		} else {
+			c1 = c0 + 1 + rng.Intn(nx-c0)
+		}
+
+		// Kernel-shaped 8-lane walk over [c0, c1).
+		ax8, ay8, az8 := ax*simdLanes, ay*simdLanes, az*simdLanes
+		for b := c0 &^ (reanchorPeriod - 1); b < c1; b += reanchorPeriod {
+			var u, v, w [simdLanes]float32
+			for j := 0; j < simdLanes; j++ {
+				l := float32(b + j)
+				u[j] = ax*l + xc
+				v[j] = ay*l + yc
+				w[j] = az*l + zc
+			}
+			seg1 := b + reanchorPeriod
+			if seg1 > c1 {
+				seg1 = c1
+			}
+			for gb := b; gb < seg1; gb += simdLanes {
+				for j := 0; j < simdLanes; j++ {
+					i := gb + j
+					if i >= c0 && i < seg1 {
+						su, sv, sw := simdCoords(i, ax, ay, az, xc, yc, zc)
+						if su != u[j] || sv != v[j] || sw != w[j] {
+							t.Fatalf("trial %d: lane %d at col %d holds (%g,%g,%g), simdCoords says (%g,%g,%g)",
+								trial, j, i, u[j], v[j], w[j], su, sv, sw)
+						}
+					}
+				}
+				for j := 0; j < simdLanes; j++ {
+					u[j] += ax8
+					v[j] += ay8
+					w[j] += az8
+				}
+			}
+		}
+
+		// Drift bound: at most 3 step additions before a re-anchor, so the
+		// simd value stays within a small multiple of float32 epsilon of
+		// the exact float64 affine value — under the recurrence kernel's
+		// own bound, and far under predicateSlack.
+		for _, i := range []int{c0, (c0 + c1) / 2, c1 - 1} {
+			su, sv, sw := simdCoords(i, ax, ay, az, xc, yc, zc)
+			fi := float64(i)
+			for _, pair := range [][2]float64{
+				{float64(su), float64(ax)*fi + float64(xc)},
+				{float64(sv), float64(ay)*fi + float64(yc)},
+				{float64(sw), float64(az)*fi + float64(zc)},
+			} {
+				scale := math.Max(math.Abs(pair[1]), 1)
+				if diff := math.Abs(pair[0] - pair[1]); diff > 1e-5*scale {
+					t.Fatalf("trial %d col %d: drift %g beyond bound (simd %g, exact %g)",
+						trial, i, diff, pair[0], pair[1])
+				}
+			}
+		}
+	}
+}
+
+// simdLaneCounts must classify every interior column exactly once:
+// full·8 + tail == span width, with groups aligned to absolute 8-column
+// boundaries (so a 9-wide span straddling a boundary is all tail unless it
+// covers a full aligned group).
+func TestSIMDLaneCounts(t *testing.T) {
+	cases := []struct {
+		f0, f1     int
+		full, tail int64
+	}{
+		{0, 0, 0, 0},
+		{0, 8, 1, 0},
+		{0, 16, 2, 0},
+		{1, 8, 0, 7},
+		{0, 7, 0, 7},
+		{3, 19, 1, 8},  // tail 3..7 (5) + full 8..15 + tail 16..18 (3)
+		{8, 40, 4, 0},  // aligned either side
+		{5, 11, 0, 6},  // straddles one boundary, no full group
+		{0, 33, 4, 1},  // 4 full groups + 1 tail column
+		{31, 33, 0, 2}, // straddles a re-anchor boundary
+	}
+	for _, c := range cases {
+		full, tail := simdLaneCounts(c.f0, c.f1)
+		if full != c.full || tail != c.tail {
+			t.Errorf("simdLaneCounts(%d,%d) = (%d,%d), want (%d,%d)",
+				c.f0, c.f1, full, tail, c.full, c.tail)
+		}
+		if full*simdLanes+tail != int64(c.f1-c.f0) && c.f1 > c.f0 {
+			t.Errorf("simdLaneCounts(%d,%d) does not partition the span", c.f0, c.f1)
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		f0 := rng.Intn(200)
+		f1 := f0 + rng.Intn(100)
+		full, tail := simdLaneCounts(f0, f1)
+		if full*simdLanes+tail != int64(f1-f0) {
+			t.Fatalf("simdLaneCounts(%d,%d) = (%d,%d): %d columns unaccounted",
+				f0, f1, full, tail, int64(f1-f0)-full*simdLanes-tail)
+		}
+	}
+}
+
+// The assembly span kernel and the Go scalar reference (guardedColsSIMD)
+// must produce bit-identical accumulations on resident columns — the
+// guards only decide whether a load happens, never its value. This is the
+// bit-identity the decomposition invariance rests on: a column can be
+// classified interior in one slab/window decomposition and border in
+// another, and both paths must agree to the last bit. Exercises the whole
+// asm surface: anchor re-init, masked head/tail groups (all sub-span
+// widths, including 1..31), paired and guarded gathers, the
+// Newton-refined reciprocal, and — by bit-equality with the Go-side
+// rcpNR — that RCPSS and RCPPS lanes share one approximation on this
+// machine.
+func TestSIMDSpanMatchesGuardedEmulation(t *testing.T) {
+	if !SIMDAvailable() {
+		t.Skip("no usable AVX2")
+	}
+	rng := rand.New(rand.NewSource(41))
+	const nx = 160
+	for trial := 0; trial < 60; trial++ {
+		a := projAccess{nu: 200, np: 1, lo: 0, hi: 190}
+		a.data = make([]float32, a.nu*(a.hi-a.lo))
+		for i := range a.data {
+			a.data[i] = float32(rng.NormFloat64())
+		}
+		a.buildRowTable()
+		if !a.prepareSIMD() {
+			t.Fatal("prepareSIMD refused a small buffer")
+		}
+		// Row constants mapping columns [0,nx) well inside the detector:
+		// x spans ≈ [2, 190], y ≈ [2, 180], w ≈ 1 ± 0.1 (so the reciprocal
+		// varies lane to lane).
+		az := float32((rng.Float64() - 0.5) * 0.001)
+		zc := float32(1 + rng.Float64()*0.2)
+		ax := float32(1.1+rng.Float64()*0.05) * zc
+		xc := float32(2+rng.Float64()*3) * zc
+		ay := float32(1.05+rng.Float64()*0.05) * zc
+		yc := float32(2+rng.Float64()*3) * zc
+		// Verify every column resident under the simd arithmetic; this
+		// also mirrors the predicate soundness the kernel dispatch relies
+		// on.
+		for i := 0; i < nx; i++ {
+			if !a.interiorResidentSIMD(i, ax, ay, az, xc, yc, zc) {
+				t.Fatalf("trial %d: column %d not resident under test geometry", trial, i)
+			}
+		}
+		spans := [][2]int{{0, nx}}
+		for k := 1; k < 32; k++ {
+			s0 := rng.Intn(nx - k)
+			spans = append(spans, [2]int{s0, s0 + k})
+		}
+		for _, sp := range spans {
+			asmOut := make([]float32, nx)
+			emuOut := make([]float32, nx)
+			segsAsm := a.fusedSpanSIMD(asmOut, 0, sp[0], sp[1], sp[0], sp[1], ax, ay, az, xc, yc, zc)
+			segsEmu := a.guardedColsSIMD(emuOut, 0, sp[0], sp[1], ax, ay, az, xc, yc, zc)
+			if segsAsm != segsEmu {
+				t.Fatalf("trial %d span %v: segment counts differ (asm %d, emu %d)",
+					trial, sp, segsAsm, segsEmu)
+			}
+			for i := range asmOut {
+				if asmOut[i] != emuOut[i] {
+					t.Fatalf("trial %d span %v col %d: asm %g != emulation %g",
+						trial, sp, i, asmOut[i], emuOut[i])
+				}
+			}
+			for i := 0; i < sp[0]; i++ {
+				if asmOut[i] != 0 {
+					t.Fatalf("trial %d span %v: asm wrote before span at col %d", trial, sp, i)
+				}
+			}
+			for i := sp[1]; i < nx; i++ {
+				if asmOut[i] != 0 {
+					t.Fatalf("trial %d span %v: asm wrote past span at col %d", trial, sp, i)
+				}
+			}
+		}
+	}
+}
+
+// The assembly guarded body (the texture-border groups of the span
+// kernel) must match the Go reference on spans whose edges genuinely
+// clip: footprints partially or fully outside the detector window, where
+// the per-neighbour gather masks — not residency — decide each load. The
+// geometry sweeps x across and past both detector edges and pins a
+// narrow readable row window so y clips too; the interior sub-span is
+// derived with the same predicate the kernel dispatch uses.
+func TestSIMDGuardedBodyMatchesReference(t *testing.T) {
+	if !SIMDAvailable() {
+		t.Skip("no usable AVX2")
+	}
+	rng := rand.New(rand.NewSource(53))
+	const nx = 192
+	for trial := 0; trial < 60; trial++ {
+		a := projAccess{nu: 96, np: 1, lo: 5, hi: 90}
+		a.data = make([]float32, a.nu*(a.hi-a.lo))
+		for i := range a.data {
+			a.data[i] = float32(rng.NormFloat64())
+		}
+		a.buildRowTable()
+		if !a.prepareSIMD() {
+			t.Fatal("prepareSIMD refused a small buffer")
+		}
+		// x sweeps ≈ [−8, 110] across columns [0,nx): both detector edges
+		// clip inside the span. y drifts through the row window; w varies
+		// so the reciprocal differs lane to lane.
+		az := float32((rng.Float64() - 0.5) * 0.002)
+		zc := float32(1 + rng.Float64()*0.3)
+		ax := float32(0.55+rng.Float64()*0.1) * zc
+		xc := float32(-8+rng.Float64()*4) * zc
+		ay := float32(0.4+rng.Float64()*0.1) * zc
+		yc := float32(rng.Float64()*8) * zc
+		// Interior sub-span under the simd predicate, exactly what rowRec
+		// would hand the kernel after its residency walks.
+		f0, f1 := 0, nx
+		for f0 < f1 && !a.interiorResidentSIMD(f0, ax, ay, az, xc, yc, zc) {
+			f0++
+		}
+		for f0 < f1 && !a.interiorResidentSIMD(f1-1, ax, ay, az, xc, yc, zc) {
+			f1--
+		}
+		if f0 >= f1 {
+			t.Fatalf("trial %d: no interior columns under test geometry", trial)
+		}
+		if f0 == 0 && f1 == nx {
+			t.Fatalf("trial %d: no border columns under test geometry", trial)
+		}
+		for i := f0; i < f1; i++ {
+			if !a.interiorResidentSIMD(i, ax, ay, az, xc, yc, zc) {
+				t.Fatalf("trial %d: interior span not contiguous at %d", trial, i)
+			}
+		}
+		// Covered spans with genuine border strips on both sides, plus
+		// narrow all-border and straddling cuts.
+		spans := [][4]int{
+			{0, nx, f0, f1},
+			{0, f0, f0, f0},  // pure left border
+			{f1, nx, f1, f1}, // pure right border
+			{max(f0-1, 0), min(f1+1, nx), f0, f1}, // ≤1 border column each side
+			{f0 / 2, (f1 + nx) / 2, f0, f1},
+		}
+		for k := 0; k < 8; k++ {
+			s0 := rng.Intn(nx - 1)
+			s1 := s0 + 1 + rng.Intn(nx-s0)
+			g0, g1 := max(s0, f0), min(s1, f1)
+			if g0 >= g1 {
+				g0, g1 = s0, s0
+			}
+			spans = append(spans, [4]int{s0, s1, g0, g1})
+		}
+		for _, sp := range spans {
+			if sp[0] >= sp[1] {
+				continue
+			}
+			asmOut := make([]float32, nx)
+			refOut := make([]float32, nx)
+			segsAsm := a.fusedSpanSIMD(asmOut, 0, sp[0], sp[1], sp[2], sp[3], ax, ay, az, xc, yc, zc)
+			segsRef := a.guardedColsSIMD(refOut, 0, sp[0], sp[1], ax, ay, az, xc, yc, zc)
+			if segsAsm != segsRef {
+				t.Fatalf("trial %d span %v: segment counts differ (asm %d, ref %d)",
+					trial, sp, segsAsm, segsRef)
+			}
+			for i := range asmOut {
+				if asmOut[i] != refOut[i] {
+					t.Fatalf("trial %d span %v col %d: asm %g != reference %g",
+						trial, sp, i, asmOut[i], refOut[i])
+				}
+			}
+		}
+	}
+}
+
+// The simd kernel must be invariant under slab decomposition and ring
+// windowing, like the kernels before it: a streaming slab-by-slab
+// reconstruction equals the monolithic batch bit for bit. On hosts without
+// AVX2 both sides silently degrade to the recurrence kernel and the
+// property still holds (of the fallback).
+func TestSIMDStreamingEqualsBatch(t *testing.T) {
+	sys := testSystem()
+	sys.SigmaV = 0.25
+	stack := randomStack(sys, 21)
+	mats := kernelMats(sys)
+
+	batchDev := device.New("batch", 0, 2)
+	want, _ := volume.New(sys.NX, sys.NY, sys.NZ)
+	if err := BatchKernel(batchDev, stack, mats, want, KernelSIMD); err != nil {
+		t.Fatal(err)
+	}
+
+	const nb = 5
+	ranges := sys.SlabRows(nb)
+	h := 0
+	for _, r := range ranges {
+		if r.Len() > h {
+			h = r.Len()
+		}
+	}
+	dev := device.New("stream", 0, 2)
+	ring, err := device.NewProjRing(dev, sys.NU, sys.NP, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ring.Close()
+
+	got, _ := volume.New(sys.NX, sys.NY, sys.NZ)
+	prev := geometry.RowRange{}
+	for si, need := range ranges {
+		z0 := si * nb
+		nz := min(nb, sys.NZ-z0)
+		ring.Release(need.Lo)
+		if err := ring.LoadRows(stack, geometry.DifferentialRows(prev, need)); err != nil {
+			t.Fatalf("slab %d: %v", si, err)
+		}
+		slab, _ := volume.NewSlab(sys.NX, sys.NY, nz, z0)
+		if err := StreamingKernel(dev, ring, mats, slab, need, KernelSIMD); err != nil {
+			t.Fatalf("slab %d: %v", si, err)
+		}
+		if err := got.CopySlabFrom(slab); err != nil {
+			t.Fatal(err)
+		}
+		prev = need
+	}
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("voxel %d: simd streaming %g != simd batch %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// Random slab partitions of the volume under KernelSIMD must reproduce the
+// monolithic result bit for bit — same property the recurrence kernel
+// holds, here additionally crossing 8-lane group boundaries at every
+// partition edge.
+func TestSIMDRandomSlabPartitionsEquivalent(t *testing.T) {
+	sys := testSystem()
+	stack := randomStack(sys, 23)
+	mats := kernelMats(sys)
+
+	dev := device.New("mono", 0, 2)
+	want, _ := volume.New(sys.NX, sys.NY, sys.NZ)
+	if err := BatchKernel(dev, stack, mats, want, KernelSIMD); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 4; trial++ {
+		got, _ := volume.New(sys.NX, sys.NY, sys.NZ)
+		z0 := 0
+		for z0 < sys.NZ {
+			nz := 1 + rng.Intn(sys.NZ-z0)
+			slab, _ := volume.NewSlab(sys.NX, sys.NY, nz, z0)
+			sdev := device.New("slab", 0, 1+rng.Intn(3))
+			if err := BatchKernel(sdev, stack, mats, slab, KernelSIMD); err != nil {
+				t.Fatal(err)
+			}
+			if err := got.CopySlabFrom(slab); err != nil {
+				t.Fatal(err)
+			}
+			z0 += nz
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("trial %d voxel %d: partitioned %g != monolithic %g",
+					trial, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// The simd kernel must land inside the same parity gate against the exact
+// kernel that the recurrence kernel is held to — its coordinate drift is
+// smaller, and the Newton-refined reciprocal adds only ~2⁻²² relative
+// error over the exact divide.
+func TestSIMDParityVsExact(t *testing.T) {
+	sys := testSystem()
+	sys.SigmaU, sys.SigmaV = 0.75, -0.25
+	stack := randomStack(sys, 29)
+	mats := kernelMats(sys)
+	dev := device.New("parity", 0, 2)
+
+	want, _ := volume.New(sys.NX, sys.NY, sys.NZ)
+	if err := BatchKernel(dev, stack, mats, want, KernelExact); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := volume.New(sys.NX, sys.NY, sys.NZ)
+	if err := BatchKernel(dev, stack, mats, got, KernelSIMD); err != nil {
+		t.Fatal(err)
+	}
+	assertWithinParityGate(t, want, got)
+}
+
+// Requesting kernels=simd on a host without AVX2 must silently degrade to
+// the recurrence kernel — bit-identical output, no error — and make the
+// degradation observable through the ledger and the kernel.simd_fallback
+// telemetry counter. Forced via the cpufeat test override so it runs (and
+// means the same thing) on AVX2 hardware.
+func TestSIMDFallbackSilentDegrade(t *testing.T) {
+	sys := testSystem()
+	stack := randomStack(sys, 31)
+	mats := kernelMats(sys)
+
+	recDev := device.New("rec", 0, 2)
+	want, _ := volume.New(sys.NX, sys.NY, sys.NZ)
+	if err := BatchKernel(recDev, stack, mats, want, KernelRecurrence); err != nil {
+		t.Fatal(err)
+	}
+
+	restore := cpufeat.SetAVX2ForTest(false)
+	defer restore()
+	if SIMDAvailable() {
+		t.Fatal("SIMDAvailable true under forced-off override")
+	}
+	dev := device.New("fallback", 0, 2)
+	reg := telemetry.NewRegistry()
+	dev.SetTelemetry(reg)
+	got, _ := volume.New(sys.NX, sys.NY, sys.NZ)
+	if err := BatchKernel(dev, stack, mats, got, KernelSIMD); err != nil {
+		t.Fatalf("simd request errored instead of degrading: %v", err)
+	}
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("voxel %d: fallback %g != recurrence %g", i, got.Data[i], want.Data[i])
+		}
+	}
+	l := dev.Snapshot()
+	if l.SIMDFallbacks < 1 {
+		t.Errorf("ledger SIMDFallbacks = %d, want ≥ 1", l.SIMDFallbacks)
+	}
+	if l.SIMDFullGroups != 0 || l.SIMDTailSamples != 0 {
+		t.Errorf("fallback launch recorded vector-lane work: %+v", l)
+	}
+	if v := reg.Counter("kernel.simd_fallback").Value(); v < 1 {
+		t.Errorf("telemetry kernel.simd_fallback = %d, want ≥ 1", v)
+	}
+}
+
+// Vector-lane accounting must partition the interior samples exactly:
+// full·8 + tail == InteriorSamples after a simd reconstruction, and the
+// telemetry counters mirror the ledger.
+func TestSIMDLedgerVectorAccounting(t *testing.T) {
+	if !SIMDAvailable() {
+		t.Skip("no usable AVX2")
+	}
+	sys := testSystem()
+	stack := randomStack(sys, 37)
+	mats := kernelMats(sys)
+	dev := device.New("vec", 0, 2)
+	reg := telemetry.NewRegistry()
+	dev.SetTelemetry(reg)
+	vol, _ := volume.New(sys.NX, sys.NY, sys.NZ)
+	if err := BatchKernel(dev, stack, mats, vol, KernelSIMD); err != nil {
+		t.Fatal(err)
+	}
+	l := dev.Snapshot()
+	if l.SIMDFullGroups == 0 {
+		t.Error("no full vector groups recorded on an AVX2 host")
+	}
+	if got := l.SIMDFullGroups*simdLanes + l.SIMDTailSamples; got != l.InteriorSamples {
+		t.Errorf("vector accounting %d does not partition interior samples %d", got, l.InteriorSamples)
+	}
+	if l.SIMDFallbacks != 0 {
+		t.Errorf("unexpected fallback on AVX2 host: %d", l.SIMDFallbacks)
+	}
+	if v := reg.Counter("kernel.simd_full_groups").Value(); v != l.SIMDFullGroups {
+		t.Errorf("telemetry full groups %d != ledger %d", v, l.SIMDFullGroups)
+	}
+	if v := reg.Counter("kernel.simd_tail_samples").Value(); v != l.SIMDTailSamples {
+		t.Errorf("telemetry tail samples %d != ledger %d", v, l.SIMDTailSamples)
+	}
+}

@@ -1,0 +1,42 @@
+//go:build amd64
+
+package cpufeat
+
+// cpuid executes CPUID with the given leaf/subleaf.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0).
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	avx2.Store(detectAVX2())
+}
+
+// detectAVX2 performs the standard usability check: CPUID.1 must report
+// OSXSAVE (the OS exposes XGETBV) and AVX, XCR0 must show the OS saving
+// both XMM and YMM state on context switch, and CPUID.7.0 must report the
+// AVX2 instruction set. Any missing piece means the 256-bit kernels would
+// fault (SIGILL or corrupted vector state), so all must hold.
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const (
+		cpuid1ECXOSXSAVE = 1 << 27
+		cpuid1ECXAVX     = 1 << 28
+		xcr0XMM          = 1 << 1
+		xcr0YMM          = 1 << 2
+		cpuid7EBXAVX2    = 1 << 5
+	)
+	_, _, c1, _ := cpuid(1, 0)
+	if c1&cpuid1ECXOSXSAVE == 0 || c1&cpuid1ECXAVX == 0 {
+		return false
+	}
+	xlo, _ := xgetbv()
+	if xlo&(xcr0XMM|xcr0YMM) != xcr0XMM|xcr0YMM {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	return b7&cpuid7EBXAVX2 != 0
+}

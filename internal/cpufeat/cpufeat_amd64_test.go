@@ -1,0 +1,13 @@
+//go:build amd64
+
+package cpufeat
+
+import "testing"
+
+// On amd64 the probe must agree with a fresh detection — init ran the
+// same code, so a mismatch means the override leaked from another test.
+func TestProbeIsStable(t *testing.T) {
+	if AVX2() != detectAVX2() {
+		t.Fatal("stored probe disagrees with fresh detection")
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !amd64
+
+package cpufeat
+
+// Non-amd64 builds have no AVX2 path; the atomic's zero value (false) is
+// already correct, so there is nothing to probe.

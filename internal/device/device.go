@@ -51,6 +51,14 @@ type Ledger struct {
 	// Reanchors counts recurrence re-anchor events (coordinate lanes
 	// recomputed from the direct expression to bound float32 drift).
 	Reanchors int64
+	// SIMDFullGroups and SIMDTailSamples are the simd kernel's vector-lane
+	// accounting: complete 8-lane vector iterations vs interior columns
+	// executed under a partial lane mask (the masked scalar tail).
+	SIMDFullGroups, SIMDTailSamples int64
+	// SIMDFallbacks counts kernel launches that requested the simd kernel
+	// but silently degraded to the recurrence kernel (missing AVX2, or a
+	// projection buffer too large for 32-bit gather indices).
+	SIMDFallbacks int64
 }
 
 // Device models one accelerator.
@@ -81,6 +89,10 @@ type Device struct {
 	borderSamples   atomic.Int64
 	skippedSamples  atomic.Int64
 	reanchors       atomic.Int64
+
+	simdFullGroups  atomic.Int64
+	simdTailSamples atomic.Int64
+	simdFallbacks   atomic.Int64
 }
 
 // New returns a device with the given capacity (0 = unlimited) and worker
@@ -104,6 +116,10 @@ type ringTelemetry struct {
 	kernelBorder   *telemetry.Counter // samples through the border path
 	kernelSkipped  *telemetry.Counter // provably-zero samples clipped away
 	kernelReanchor *telemetry.Counter // recurrence re-anchor events
+
+	kernelSIMDFull     *telemetry.Counter // full 8-lane vector iterations
+	kernelSIMDTail     *telemetry.Counter // interior columns under a partial lane mask
+	kernelSIMDFallback *telemetry.Counter // simd launches degraded to recurrence
 }
 
 // SetTelemetry points the device's projection-ring instrumentation at a
@@ -129,6 +145,10 @@ func (d *Device) SetTelemetry(reg *telemetry.Registry) {
 		kernelBorder:   reg.Counter("kernel.border_samples"),
 		kernelSkipped:  reg.Counter("kernel.skipped_samples"),
 		kernelReanchor: reg.Counter("kernel.reanchors"),
+
+		kernelSIMDFull:     reg.Counter("kernel.simd_full_groups"),
+		kernelSIMDTail:     reg.Counter("kernel.simd_tail_samples"),
+		kernelSIMDFallback: reg.Counter("kernel.simd_fallback"),
 	}
 }
 
@@ -198,6 +218,28 @@ func (d *Device) RecordKernelSamples(interior, border, skipped, reanchors int64)
 	}
 }
 
+// RecordKernelVector accounts one simd-kernel launch's vector-lane
+// classification: complete 8-lane iterations and masked-tail columns.
+// Called once per launch with worker-aggregated totals.
+func (d *Device) RecordKernelVector(fullGroups, tailSamples int64) {
+	d.simdFullGroups.Add(fullGroups)
+	d.simdTailSamples.Add(tailSamples)
+	if t := d.tel; t != nil {
+		t.kernelSIMDFull.Add(fullGroups)
+		t.kernelSIMDTail.Add(tailSamples)
+	}
+}
+
+// RecordSIMDFallback accounts a kernel launch that requested the simd
+// kernel but ran the recurrence kernel instead — degradation is silent for
+// the caller and visible only here.
+func (d *Device) RecordSIMDFallback() {
+	d.simdFallbacks.Add(1)
+	if t := d.tel; t != nil {
+		t.kernelSIMDFallback.Add(1)
+	}
+}
+
 // Snapshot returns the current ledger totals.
 func (d *Device) Snapshot() Ledger {
 	return Ledger{
@@ -212,6 +254,10 @@ func (d *Device) Snapshot() Ledger {
 		BorderSamples:   d.borderSamples.Load(),
 		SkippedSamples:  d.skippedSamples.Load(),
 		Reanchors:       d.reanchors.Load(),
+
+		SIMDFullGroups:  d.simdFullGroups.Load(),
+		SIMDTailSamples: d.simdTailSamples.Load(),
+		SIMDFallbacks:   d.simdFallbacks.Load(),
 	}
 }
 
@@ -247,6 +293,10 @@ func (l Ledger) Sub(o Ledger) Ledger {
 		BorderSamples:   l.BorderSamples - o.BorderSamples,
 		SkippedSamples:  l.SkippedSamples - o.SkippedSamples,
 		Reanchors:       l.Reanchors - o.Reanchors,
+
+		SIMDFullGroups:  l.SIMDFullGroups - o.SIMDFullGroups,
+		SIMDTailSamples: l.SIMDTailSamples - o.SIMDTailSamples,
+		SIMDFallbacks:   l.SIMDFallbacks - o.SIMDFallbacks,
 	}
 }
 

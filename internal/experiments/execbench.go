@@ -7,6 +7,9 @@ import (
 	"runtime"
 	"time"
 
+	"distfdk/internal/backproject"
+	"distfdk/internal/core"
+	"distfdk/internal/device"
 	"distfdk/internal/mpi"
 	"distfdk/internal/pipeline"
 )
@@ -25,6 +28,11 @@ type ExecBenchOptions struct {
 	// Reps is the number of timed repetitions; the best is recorded
 	// (default 3).
 	Reps int
+	// Dataset / Div / OutN select the BuildScenario twin for the real
+	// reconstruction rows (defaults: tomo_00030, 8, 64 — the kernelbench
+	// scenario, so GUPS numbers line up across the two artifacts).
+	Dataset   string
+	Div, OutN int
 	// Label tags the entry; GitCommit is resolved by the caller.
 	Label     string
 	GitCommit string
@@ -53,6 +61,24 @@ type PipelineBench struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// ReconBench is one end-to-end single-rank reconstruction measurement.
+// Unlike PipelineBench (sleep-modeled, kernel-independent), these rows run
+// the real filter + back-projection pipeline, so kernel arithmetic and
+// elastic back-projection width both show up in the wall time.
+type ReconBench struct {
+	Kernel    string  `json:"kernel"` // back-projection arithmetic
+	BPWorkers int     `json:"bp_workers"`
+	Slabs     int     `json:"slabs"`
+	Updates   int64   `json:"updates"`
+	Seconds   float64 `json:"seconds"` // best-of-reps wall time
+	GUPS      float64 `json:"gups"`
+	// Speedup is GUPS relative to the recurrence BPWorkers=1 row.
+	Speedup float64 `json:"speedup"`
+	// Fallback records that a simd request silently degraded to the
+	// recurrence kernel on this host (the GUPS then measures recurrence).
+	Fallback bool `json:"fallback,omitempty"`
+}
+
 // CollectiveBench is one reduction measurement.
 type CollectiveBench struct {
 	Variant string  `json:"variant"` // "reduce", "reduce_chunked", "hierarchical"
@@ -77,6 +103,7 @@ type ExecBenchEntry struct {
 	GoVersion   string            `json:"go_version"`
 	GOMAXPROCS  int               `json:"gomaxprocs"`
 	Pipeline    []PipelineBench   `json:"pipeline"`
+	Recon       []ReconBench      `json:"recon,omitempty"`
 	Collectives []CollectiveBench `json:"collectives"`
 }
 
@@ -99,11 +126,21 @@ func (o *ExecBenchOptions) fill() {
 	if o.Reps <= 0 {
 		o.Reps = 3
 	}
+	if o.Dataset == "" {
+		o.Dataset = "tomo_00030"
+	}
+	if o.Div <= 0 {
+		o.Div = 8
+	}
+	if o.OutN <= 0 {
+		o.OutN = 64
+	}
 }
 
 // RunExecBench measures elastic pipeline throughput (batches/s at 1, 2 and
-// 4 back-projection workers) and the collective reduction variants (GB/s
-// and allocations per op, pooled vs unpooled).
+// 4 back-projection workers), real single-rank reconstructions (recurrence
+// vs simd at BPWorkers 1 and 4) and the collective reduction variants
+// (GB/s and allocations per op, pooled vs unpooled).
 func RunExecBench(opts ExecBenchOptions) (*ExecBenchEntry, error) {
 	opts.fill()
 	entry := &ExecBenchEntry{
@@ -124,6 +161,24 @@ func RunExecBench(opts ExecBenchOptions) (*ExecBenchEntry, error) {
 			pb.Speedup = pb.BatchesPerSec / entry.Pipeline[0].BatchesPerSec
 		}
 		entry.Pipeline = append(entry.Pipeline, *pb)
+	}
+	sc, err := BuildScenario(opts.Dataset, opts.Div, opts.OutN, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return nil, err
+	}
+	for _, kernel := range []backproject.Kernel{backproject.KernelRecurrence, backproject.KernelSIMD} {
+		for _, w := range []int{1, 4} {
+			rb, err := benchRecon(sc, kernel, w, opts)
+			if err != nil {
+				return nil, err
+			}
+			if base := entry.Recon; len(base) == 0 {
+				rb.Speedup = 1
+			} else {
+				rb.Speedup = rb.GUPS / base[0].GUPS
+			}
+			entry.Recon = append(entry.Recon, *rb)
+		}
 	}
 	chunk := max(opts.Elems/16, 1)
 	rpn := 4
@@ -175,6 +230,48 @@ func benchPipeline(workers int, opts ExecBenchOptions) (*PipelineBench, error) {
 		Batches:       opts.Batches,
 		Seconds:       best.Seconds(),
 		BatchesPerSec: float64(opts.Batches) / best.Seconds(),
+	}, nil
+}
+
+// benchRecon times a full single-rank reconstruction (filter, upload,
+// back-project, store) through ReconstructSingle with the given kernel
+// arithmetic and elastic back-projection width, keeping the best rep.
+func benchRecon(sc *Scenario, kernel backproject.Kernel, bpWorkers int, opts ExecBenchOptions) (*ReconBench, error) {
+	var best time.Duration
+	var bestLedger device.Ledger
+	var slabs int
+	for rep := 0; rep < opts.Reps; rep++ {
+		plan, err := core.NewPlan(sc.Sys, 1, 1, core.DefaultBatchCount)
+		if err != nil {
+			return nil, err
+		}
+		sink, err := core.NewVolumeSink(sc.Sys)
+		if err != nil {
+			return nil, err
+		}
+		report, err := core.ReconstructSingle(core.ReconOptions{
+			Plan:      plan,
+			Source:    sc.Source,
+			Device:    device.New("execbench", 0, runtime.GOMAXPROCS(0)),
+			Kernel:    kernel,
+			Sink:      sink,
+			BPWorkers: bpWorkers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if best == 0 || report.Elapsed < best {
+			best, bestLedger, slabs = report.Elapsed, report.Ledger, report.Slabs
+		}
+	}
+	return &ReconBench{
+		Kernel:    kernel.String(),
+		BPWorkers: bpWorkers,
+		Slabs:     slabs,
+		Updates:   bestLedger.VoxelUpdates,
+		Seconds:   best.Seconds(),
+		GUPS:      bestLedger.GUPS(best),
+		Fallback:  kernel == backproject.KernelSIMD && bestLedger.SIMDFallbacks > 0,
 	}, nil
 }
 
@@ -274,6 +371,14 @@ func (e *ExecBenchEntry) Summary() string {
 	for _, pb := range e.Pipeline {
 		s += fmt.Sprintf("  pipeline bp-workers=%d  %7.1f batches/s  %.2fx\n",
 			pb.Workers, pb.BatchesPerSec, pb.Speedup)
+	}
+	for _, rb := range e.Recon {
+		note := ""
+		if rb.Fallback {
+			note = "  (fell back to recurrence)"
+		}
+		s += fmt.Sprintf("  recon [%s] bp-workers=%d  %6.4f GUPS  %.3fs  %.2fx%s\n",
+			rb.Kernel, rb.BPWorkers, rb.GUPS, rb.Seconds, rb.Speedup, note)
 	}
 	for _, cb := range e.Collectives {
 		mode := "unpooled"

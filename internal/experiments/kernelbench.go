@@ -60,10 +60,15 @@ type BackprojBench struct {
 	// Sample-path split of the best rep (recurrence kernel only):
 	// interior fast-path, guarded border, provably-zero skipped, and the
 	// re-anchor count behind the drift bound.
-	Interior        int64   `json:"interior_samples,omitempty"`
-	Border          int64   `json:"border_samples,omitempty"`
-	Skipped         int64   `json:"skipped_samples,omitempty"`
-	Reanchors       int64   `json:"reanchors,omitempty"`
+	Interior  int64 `json:"interior_samples,omitempty"`
+	Border    int64 `json:"border_samples,omitempty"`
+	Skipped   int64 `json:"skipped_samples,omitempty"`
+	Reanchors int64 `json:"reanchors,omitempty"`
+	// Vector-lane split of the simd kernel's interior work: whole 8-lane
+	// groups vs masked-tail samples, plus silent recurrence fallbacks.
+	SIMDFullGroups  int64   `json:"simd_full_groups,omitempty"`
+	SIMDTailSamples int64   `json:"simd_tail_samples,omitempty"`
+	SIMDFallbacks   int64   `json:"simd_fallbacks,omitempty"`
 	Seconds         float64 `json:"seconds"` // best-of-reps wall time
 	GUPS            float64 `json:"gups"`
 	NsPerUpdate     float64 `json:"ns_per_update"`
@@ -88,7 +93,10 @@ type FilterBench struct {
 // benchmark entry: the throughput number is only meaningful while the
 // fast kernel stays inside the arithmetic contract.
 type ParityReport struct {
-	RMSE   float64 `json:"rmse"`
+	// Arithmetic names the kernel under test ("recurrence" or "simd");
+	// empty in pre-PR-7 entries, which validated the recurrence kernel.
+	Arithmetic string  `json:"arithmetic,omitempty"`
+	RMSE       float64 `json:"rmse"`
 	MaxAbs float64 `json:"max_abs"`
 	// Scale is the exact volume's max magnitude; the package gates are
 	// stated for unit-scale data, so the effective gates below are the
@@ -114,6 +122,10 @@ type KernelBenchEntry struct {
 	Backprojection []BackprojBench `json:"backprojection"`
 	Filtering      []FilterBench   `json:"filtering"`
 	Parity         *ParityReport   `json:"parity,omitempty"`
+	// ParitySIMD validates the simd kernel against exact on hosts where it
+	// is available. A separate field (not a re-typed Parity) so existing
+	// BENCH_kernel.json files keep unmarshalling.
+	ParitySIMD *ParityReport `json:"parity_simd,omitempty"`
 }
 
 // KernelBenchFile is the BENCH_kernel.json envelope: an append-only list of
@@ -169,7 +181,7 @@ func RunKernelBench(opts KernelBenchOptions) (*KernelBenchEntry, error) {
 		entry.Backprojection = append(entry.Backprojection, *bp)
 	}
 	if opts.Parity {
-		pr, err := validateParity(sc, opts)
+		pr, err := validateParity(sc, opts, backproject.KernelRecurrence)
 		if err != nil {
 			return nil, err
 		}
@@ -177,6 +189,20 @@ func RunKernelBench(opts KernelBenchOptions) (*KernelBenchEntry, error) {
 		if !pr.Pass {
 			return entry, fmt.Errorf("kernelbench: recurrence kernel outside parity gate: rmse %g (gate %g), maxabs %g (gate %g), streaming==batch %v",
 				pr.RMSE, pr.GateRMSE, pr.MaxAbs, pr.GateMaxAbs, pr.StreamingEqualsBatch)
+		}
+		// Gate the simd kernel too wherever the host can run it; on other
+		// hosts it would silently degrade to recurrence and the check would
+		// duplicate the one above.
+		if backproject.SIMDAvailable() {
+			ps, err := validateParity(sc, opts, backproject.KernelSIMD)
+			if err != nil {
+				return nil, err
+			}
+			entry.ParitySIMD = ps
+			if !ps.Pass {
+				return entry, fmt.Errorf("kernelbench: simd kernel outside parity gate: rmse %g (gate %g), maxabs %g (gate %g), streaming==batch %v",
+					ps.RMSE, ps.GateRMSE, ps.MaxAbs, ps.GateMaxAbs, ps.StreamingEqualsBatch)
+			}
 		}
 	}
 
@@ -274,6 +300,9 @@ func benchBackprojection(sc *Scenario, streaming bool, opts KernelBenchOptions) 
 		Border:          bestLedger.BorderSamples,
 		Skipped:         bestLedger.SkippedSamples,
 		Reanchors:       bestLedger.Reanchors,
+		SIMDFullGroups:  bestLedger.SIMDFullGroups,
+		SIMDTailSamples: bestLedger.SIMDTailSamples,
+		SIMDFallbacks:   bestLedger.SIMDFallbacks,
 		Seconds:         best.Seconds(),
 		GUPS:            bestLedger.GUPS(best),
 		NsPerUpdate:     bestLedger.NsPerUpdate(best),
@@ -286,11 +315,11 @@ func benchBackprojection(sc *Scenario, streaming bool, opts KernelBenchOptions) 
 	return bb, nil
 }
 
-// validateParity reconstructs the benchmark scenario through both kernel
-// arithmetics and checks the recurrence result against the package parity
-// gates (scaled to the data's magnitude), plus the streaming ≡ batch
+// validateParity reconstructs the benchmark scenario through the exact
+// kernel and through fast, and checks the fast result against the package
+// parity gates (scaled to the data's magnitude), plus the streaming ≡ batch
 // bit-identity the decomposition rests on.
-func validateParity(sc *Scenario, opts KernelBenchOptions) (*ParityReport, error) {
+func validateParity(sc *Scenario, opts KernelBenchOptions, fast backproject.Kernel) (*ParityReport, error) {
 	sys := sc.Sys
 	mats := core.KernelMatrices(sys, 0, sys.NP)
 	layout, err := device.ParseRingLayout(opts.RingLayout)
@@ -309,11 +338,11 @@ func validateParity(sc *Scenario, opts KernelBenchOptions) (*ParityReport, error
 	if err != nil {
 		return nil, err
 	}
-	if err := backproject.BatchKernel(device.New("parity-rec", 0, opts.Workers), sc.Stack, mats, rec, backproject.KernelRecurrence); err != nil {
+	if err := backproject.BatchKernel(device.New("parity-rec", 0, opts.Workers), sc.Stack, mats, rec, fast); err != nil {
 		return nil, err
 	}
 
-	// Streaming decomposition identity under the default kernel.
+	// Streaming decomposition identity under the kernel being validated.
 	dev := device.New("parity-stream", 0, opts.Workers)
 	ring, err := device.NewProjRingLayout(dev, sys.NU, sys.NP, sys.NV, layout)
 	if err != nil {
@@ -340,7 +369,7 @@ func validateParity(sc *Scenario, opts KernelBenchOptions) (*ParityReport, error
 		if err != nil {
 			return nil, err
 		}
-		if err := backproject.StreamingKernel(dev, ring, mats, slab, plan.SlabRows(0, c), backproject.KernelRecurrence); err != nil {
+		if err := backproject.StreamingKernel(dev, ring, mats, slab, plan.SlabRows(0, c), fast); err != nil {
 			return nil, err
 		}
 		if err := stream.CopySlabFrom(slab); err != nil {
@@ -363,6 +392,7 @@ func validateParity(sc *Scenario, opts KernelBenchOptions) (*ParityReport, error
 	scale := math.Max(math.Abs(float64(lo)), math.Abs(float64(hi)))
 	gateScale := math.Max(scale, 1)
 	pr := &ParityReport{
+		Arithmetic:           fast.String(),
 		RMSE:                 stats.RMSE,
 		MaxAbs:               stats.MaxAbs,
 		Scale:                scale,
@@ -452,13 +482,20 @@ func (e *KernelBenchEntry) Summary() string {
 		s += fmt.Sprintf("  backproject/%-9s [%s] %6.4f GUPS  %8.2f ns/update  %.3fs\n",
 			bp.Kernel, bp.Arithmetic, bp.GUPS, bp.NsPerUpdate, bp.Seconds)
 	}
-	if p := e.Parity; p != nil {
+	for _, p := range []*ParityReport{e.Parity, e.ParitySIMD} {
+		if p == nil {
+			continue
+		}
 		verdict := "PASS"
 		if !p.Pass {
 			verdict = "FAIL"
 		}
-		s += fmt.Sprintf("  parity %s: rmse %.3g (gate %.3g)  maxabs %.3g (gate %.3g)  streaming==batch %v\n",
-			verdict, p.RMSE, p.GateRMSE, p.MaxAbs, p.GateMaxAbs, p.StreamingEqualsBatch)
+		arith := p.Arithmetic
+		if arith == "" {
+			arith = "recurrence"
+		}
+		s += fmt.Sprintf("  parity[%s] %s: rmse %.3g (gate %.3g)  maxabs %.3g (gate %.3g)  streaming==batch %v\n",
+			arith, verdict, p.RMSE, p.GateRMSE, p.MaxAbs, p.GateMaxAbs, p.StreamingEqualsBatch)
 	}
 	for _, fb := range e.Filtering {
 		s += fmt.Sprintf("  filter rows (NU=%d) %9.0f rows/s  %8.0f ns/row  fft=%d\n",

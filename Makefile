@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check chaos chaos-recover trace-smoke bench bench-smoke bench-json bench-exec experiments examples clean
+.PHONY: all build test race check chaos chaos-recover trace-smoke slo-gate bench bench-smoke bench-json bench-exec experiments examples clean
 
 all: build test
 
@@ -24,6 +24,7 @@ race:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) run ./cmd/fdkbench -check-bench BENCH_kernel.json,BENCH_exec.json
 	$(MAKE) trace-smoke
 	$(MAKE) chaos-recover
 
@@ -76,6 +77,14 @@ chaos-recover:
 		-check-trace artifacts/recover_trace.json \
 		-check-metrics artifacts/recover_metrics.json
 	rm -f artifacts/recover_drill.fbk
+
+# Robustness release wall: replay every scenario under scenarios/ (paired
+# fault-free vs injected arms, robust medians, SLO gates) and fail the
+# build on any breach. The analysis artifacts land in artifacts/slo/ and
+# the JSON is immediately re-validated, so CI uploads a checked artifact.
+slo-gate:
+	$(GO) run ./cmd/slogate -scenarios scenarios -out artifacts/slo
+	$(GO) run ./cmd/slogate -check artifacts/slo/analysis.json
 
 bench:
 	$(GO) test -bench=. -benchmem -timeout 45m ./...

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -40,6 +41,7 @@ func main() {
 	smoke := flag.Bool("smoke", false, "reduced-size -kernel-json run for CI: smaller scenario, 1 rep, parity on")
 	checkTrace := flag.String("check-trace", "", "validate a Chrome trace artifact (exit non-zero on violation) and exit")
 	checkMetrics := flag.String("check-metrics", "", "validate a metrics JSON artifact (exit non-zero on violation) and exit")
+	checkBench := flag.String("check-bench", "", "validate comma-separated BENCH_kernel.json / BENCH_exec.json ledgers (exit non-zero on violation) and exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address during the benchmarks")
 	flag.Parse()
 
@@ -53,6 +55,10 @@ func main() {
 	}
 	if *checkTrace != "" || *checkMetrics != "" {
 		checkArtifacts(*checkTrace, *checkMetrics)
+		return
+	}
+	if *checkBench != "" {
+		checkBenchLedgers(strings.Split(*checkBench, ","))
 		return
 	}
 
@@ -152,6 +158,63 @@ func checkArtifacts(tracePath, metricsPath string) {
 		}
 		fmt.Printf("metrics %s: %d rank sections, %d skewed counters\n",
 			metricsPath, len(rep.Ranks), len(rep.Cluster))
+	}
+}
+
+// checkBenchLedgers validates the append-only benchmark ledgers — the
+// `make check` gate over BENCH_kernel.json / BENCH_exec.json. The ledger
+// kind is sniffed from the first entry's shape (kernel entries carry
+// backprojection rows, exec entries pipeline rows), so the flag takes any
+// mix of paths. Exits non-zero with the violation on stderr.
+func checkBenchLedgers(paths []string) {
+	for _, path := range paths {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdkbench:", err)
+			os.Exit(1)
+		}
+		var sniff struct {
+			Entries []struct {
+				Backprojection []json.RawMessage `json:"backprojection"`
+				Pipeline       []json.RawMessage `json:"pipeline"`
+			} `json:"entries"`
+		}
+		if err := json.Unmarshal(data, &sniff); err != nil {
+			fmt.Fprintf(os.Stderr, "fdkbench: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		kind := "unrecognized"
+		if len(sniff.Entries) > 0 {
+			switch {
+			case sniff.Entries[0].Backprojection != nil:
+				kind = "kernel"
+			case sniff.Entries[0].Pipeline != nil:
+				kind = "exec"
+			}
+		}
+		switch kind {
+		case "kernel":
+			f, err := experiments.ValidateKernelBenchJSON(data)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fdkbench: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("bench %s: valid kernel ledger, %d entries\n", path, len(f.Entries))
+		case "exec":
+			f, err := experiments.ValidateExecBenchJSON(data)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fdkbench: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("bench %s: valid exec ledger, %d entries\n", path, len(f.Entries))
+		default:
+			fmt.Fprintf(os.Stderr, "fdkbench: %s: neither a kernel nor an exec bench ledger\n", path)
+			os.Exit(1)
+		}
 	}
 }
 

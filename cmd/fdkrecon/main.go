@@ -75,6 +75,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateRunFlags(*restarts, *backoff, *deadline); err != nil {
+		log.Fatal(err)
+	}
+
 	win, err := filter.ParseWindow(*window)
 	if err != nil {
 		log.Fatal(err)
@@ -234,7 +238,7 @@ func main() {
 			runSupervised(copts, sys, run, supervisedConfig{
 				journal:  *journal,
 				outPath:  *outPath,
-				restarts: *restarts,
+				restarts: restartBudget(*restarts),
 				backoff:  *backoff,
 				traceOut: *traceOut,
 				metrics:  *metrics,

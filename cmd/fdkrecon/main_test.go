@@ -1,0 +1,74 @@
+package main
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"distfdk/internal/core"
+)
+
+func TestValidateRunFlags(t *testing.T) {
+	// The flag defaults must validate — otherwise every invocation dies.
+	if err := validateRunFlags(core.DefaultMaxRestarts, core.DefaultRestartBackoff, 0); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if err := validateRunFlags(0, time.Second, 30*time.Second); err != nil {
+		t.Fatalf("explicit zero budget rejected: %v", err)
+	}
+
+	cases := []struct {
+		name     string
+		restarts int
+		backoff  time.Duration
+		deadline time.Duration
+		wantFlag string
+	}{
+		{"negative budget", -1, time.Second, 0, "max-restarts"},
+		{"very negative budget", -99, time.Second, 0, "max-restarts"},
+		{"zero backoff", 3, 0, 0, "restart-backoff"},
+		{"negative backoff", 3, -time.Millisecond, 0, "restart-backoff"},
+		{"negative deadline", 3, time.Second, -time.Second, "deadline"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateRunFlags(tc.restarts, tc.backoff, tc.deadline)
+			if err == nil {
+				t.Fatal("invalid flags accepted")
+			}
+			var fe *FlagError
+			if !errors.As(err, &fe) {
+				t.Fatalf("error is %T, want *FlagError", err)
+			}
+			if fe.Flag != tc.wantFlag {
+				t.Fatalf("flagged -%s, want -%s (%v)", fe.Flag, tc.wantFlag, err)
+			}
+		})
+	}
+}
+
+// An explicit `-max-restarts 0` must reach core as "no restarts", not as
+// core's 0-means-default sentinel.
+func TestRestartBudgetTranslation(t *testing.T) {
+	if got := restartBudget(0); got >= 0 {
+		t.Errorf("restartBudget(0) = %d, want negative (no restarts)", got)
+	}
+	if got := restartBudget(3); got != 3 {
+		t.Errorf("restartBudget(3) = %d", got)
+	}
+}
+
+func TestBuildKillInjector(t *testing.T) {
+	in, err := buildKillInjector("1@1, 2@0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.PendingKills() != 2 {
+		t.Errorf("pending kills = %d, want 2", in.PendingKills())
+	}
+	for _, bad := range []string{"1", "a@b", "1@", "@1", "1@1@1", "1@-2x"} {
+		if _, err := buildKillInjector(bad); err == nil {
+			t.Errorf("accepted bad kill spec %q", bad)
+		}
+	}
+}

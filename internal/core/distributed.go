@@ -230,6 +230,30 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 		}
 		defer dev.Free(p.SlabBytes())
 
+		// Phase markers: when the injector carries a scenario phase
+		// schedule, each rank's trace shows one warmup/inject/recovery
+		// span per contiguous phase window — the inject window is then
+		// visible in the Chrome trace right next to the faults it scoped,
+		// and the SLO gate can align latencies to it.
+		var endPhase func()
+		phase := ""
+		markPhase := func(c int) {
+			ph := opts.FaultInjector.PhaseOf(rank)
+			if ph == "" || ph == phase {
+				return
+			}
+			if endPhase != nil {
+				endPhase()
+			}
+			endPhase = reg.Span("phase."+ph, c)
+			phase = ph
+		}
+		defer func() {
+			if endPhase != nil {
+				endPhase()
+			}
+		}()
+
 		prev := geometry.RowRange{}
 		for c := 0; c < p.BatchCount; c++ {
 			z0, nz := p.SlabZ(g, c)
@@ -244,6 +268,7 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 				if kerr := opts.FaultInjector.BatchStart(rank, c); kerr != nil {
 					return fmt.Errorf("rank %d batch %d: %w", rank, c, kerr)
 				}
+				markPhase(c)
 			}
 			// A checkpointed batch is skipped by the whole group: Done(z0)
 			// reads the same pre-run journal state on every rank, and the

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// This file validates the repo's append-only benchmark ledgers
+// (BENCH_kernel.json, BENCH_exec.json). The ledgers are hand-merged
+// across PRs and branches, which is exactly how files rot: a truncated
+// merge, an entry appended out of order, a rep that recorded zero
+// throughput. `fdkbench -check-bench` (wired into `make check`) runs
+// these so a rotten ledger fails CI instead of silently poisoning the
+// trend lines.
+
+// ValidateKernelBenchJSON checks a BENCH_kernel.json ledger: envelope
+// shape, per-entry required fields, sane measurement rows, and
+// monotonically non-decreasing RFC3339 timestamps (append-only means
+// history stays in order).
+func ValidateKernelBenchJSON(data []byte) (*KernelBenchFile, error) {
+	var f KernelBenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("kernel bench: %w", err)
+	}
+	if len(f.Entries) == 0 {
+		return nil, fmt.Errorf("kernel bench: no entries")
+	}
+	var prev time.Time
+	for i, e := range f.Entries {
+		at := func(format string, args ...any) error {
+			return fmt.Errorf("kernel bench: entry %d (%q): %s", i, e.Label, fmt.Sprintf(format, args...))
+		}
+		ts, err := checkEntryHeader(e.Timestamp, e.GoVersion, prev)
+		if err != nil {
+			return nil, at("%v", err)
+		}
+		prev = ts
+		if len(e.Backprojection) == 0 {
+			return nil, at("no backprojection rows")
+		}
+		for j, b := range e.Backprojection {
+			// Arithmetic stays optional: pre-PR-6 entries recorded "" before
+			// the field existed, and an append-only ledger keeps its history.
+			if b.Kernel == "" {
+				return nil, at("backprojection[%d]: kernel is required", j)
+			}
+			if b.Updates <= 0 || b.Seconds <= 0 || b.GUPS <= 0 {
+				return nil, at("backprojection[%d]: non-positive measurement (updates=%d seconds=%g gups=%g)",
+					j, b.Updates, b.Seconds, b.GUPS)
+			}
+		}
+		for j, r := range e.Filtering {
+			if r.Rows <= 0 || r.Seconds <= 0 || r.RowsPerSec <= 0 {
+				return nil, at("filtering[%d]: non-positive measurement", j)
+			}
+		}
+		for _, p := range []*ParityReport{e.Parity, e.ParitySIMD} {
+			if p != nil && !p.Pass {
+				return nil, at("recorded parity report failed its gates")
+			}
+		}
+	}
+	return &f, nil
+}
+
+// ValidateExecBenchJSON checks a BENCH_exec.json ledger with the same
+// contract as ValidateKernelBenchJSON.
+func ValidateExecBenchJSON(data []byte) (*ExecBenchFile, error) {
+	var f ExecBenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("exec bench: %w", err)
+	}
+	if len(f.Entries) == 0 {
+		return nil, fmt.Errorf("exec bench: no entries")
+	}
+	var prev time.Time
+	for i, e := range f.Entries {
+		at := func(format string, args ...any) error {
+			return fmt.Errorf("exec bench: entry %d (%q): %s", i, e.Label, fmt.Sprintf(format, args...))
+		}
+		ts, err := checkEntryHeader(e.Timestamp, e.GoVersion, prev)
+		if err != nil {
+			return nil, at("%v", err)
+		}
+		prev = ts
+		if len(e.Pipeline) == 0 {
+			return nil, at("no pipeline rows")
+		}
+		for j, p := range e.Pipeline {
+			if p.Workers <= 0 || p.Batches <= 0 || p.Seconds <= 0 || p.BatchesPerSec <= 0 {
+				return nil, at("pipeline[%d]: non-positive measurement", j)
+			}
+		}
+		for j, r := range e.Recon {
+			if r.Kernel == "" {
+				return nil, at("recon[%d]: kernel is required", j)
+			}
+			if r.Updates <= 0 || r.Seconds <= 0 || r.GUPS <= 0 {
+				return nil, at("recon[%d]: non-positive measurement", j)
+			}
+		}
+		for j, c := range e.Collectives {
+			if c.Variant == "" {
+				return nil, at("collectives[%d]: variant is required", j)
+			}
+			if c.Ranks <= 0 || c.Elems <= 0 || c.Seconds <= 0 {
+				return nil, at("collectives[%d]: non-positive measurement", j)
+			}
+		}
+	}
+	return &f, nil
+}
+
+// checkEntryHeader validates the fields every ledger entry must carry
+// and enforces append-only timestamp order against prev. Labels are not
+// required — early history recorded unlabeled entries, and an append-only
+// ledger keeps its history.
+func checkEntryHeader(timestamp, goVersion string, prev time.Time) (time.Time, error) {
+	if goVersion == "" {
+		return time.Time{}, fmt.Errorf("go_version is required")
+	}
+	ts, err := time.Parse(time.RFC3339, timestamp)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("timestamp %q is not RFC3339: %v", timestamp, err)
+	}
+	if ts.Before(prev) {
+		return time.Time{}, fmt.Errorf("timestamp %s is before the previous entry's %s (ledger must be append-only)",
+			ts.Format(time.RFC3339), prev.Format(time.RFC3339))
+	}
+	return ts, nil
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func kernelLedger(t *testing.T, mutate func(*KernelBenchFile)) []byte {
+	t.Helper()
+	f := &KernelBenchFile{Entries: []*KernelBenchEntry{
+		{
+			Label: "a", Timestamp: "2026-01-01T00:00:00Z", GoVersion: "go1.22",
+			Backprojection: []BackprojBench{{Kernel: "streaming", Arithmetic: "recurrence",
+				OutN: 64, NP: 88, Updates: 100, Seconds: 0.5, GUPS: 1.0}},
+			Filtering: []FilterBench{{Rows: 10, Seconds: 0.1, RowsPerSec: 100}},
+		},
+		{
+			Label: "b", Timestamp: "2026-01-02T00:00:00Z", GoVersion: "go1.22",
+			Backprojection: []BackprojBench{{Kernel: "batch", Arithmetic: "exact",
+				OutN: 64, NP: 88, Updates: 100, Seconds: 0.5, GUPS: 1.0}},
+		},
+	}}
+	if mutate != nil {
+		mutate(f)
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func execLedger(t *testing.T, mutate func(*ExecBenchFile)) []byte {
+	t.Helper()
+	f := &ExecBenchFile{Entries: []*ExecBenchEntry{
+		{
+			Label: "a", Timestamp: "2026-01-01T00:00:00Z", GoVersion: "go1.22",
+			Pipeline:    []PipelineBench{{Workers: 1, Batches: 8, Seconds: 0.2, BatchesPerSec: 40}},
+			Collectives: []CollectiveBench{{Variant: "reduce", Ranks: 4, Elems: 1024, Seconds: 0.01}},
+		},
+	}}
+	if mutate != nil {
+		mutate(f)
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestValidateKernelBenchJSON(t *testing.T) {
+	if _, err := ValidateKernelBenchJSON(kernelLedger(t, nil)); err != nil {
+		t.Fatalf("well-formed ledger rejected: %v", err)
+	}
+	// Pre-PR-6 history: empty arithmetic is legal, empty kernel is not.
+	if _, err := ValidateKernelBenchJSON(kernelLedger(t, func(f *KernelBenchFile) {
+		f.Entries[0].Backprojection[0].Arithmetic = ""
+	})); err != nil {
+		t.Fatalf("legacy empty-arithmetic entry rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*KernelBenchFile)
+		want   string
+	}{
+		{"no entries", func(f *KernelBenchFile) { f.Entries = nil }, "no entries"},
+		{"missing kernel", func(f *KernelBenchFile) { f.Entries[0].Backprojection[0].Kernel = "" }, "kernel is required"},
+		{"zero gups", func(f *KernelBenchFile) { f.Entries[1].Backprojection[0].GUPS = 0 }, "non-positive measurement"},
+		{"no rows", func(f *KernelBenchFile) { f.Entries[1].Backprojection = nil }, "no backprojection rows"},
+		{"bad timestamp", func(f *KernelBenchFile) { f.Entries[0].Timestamp = "yesterday" }, "not RFC3339"},
+		{"missing go version", func(f *KernelBenchFile) { f.Entries[0].GoVersion = "" }, "go_version is required"},
+		{"out of order", func(f *KernelBenchFile) {
+			f.Entries[1].Timestamp = "2025-01-01T00:00:00Z"
+		}, "append-only"},
+		{"failed parity recorded", func(f *KernelBenchFile) {
+			f.Entries[0].Parity = &ParityReport{Pass: false}
+		}, "parity report failed"},
+		{"zero filter rate", func(f *KernelBenchFile) { f.Entries[0].Filtering[0].RowsPerSec = 0 }, "filtering[0]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateKernelBenchJSON(kernelLedger(t, tc.mutate))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+
+	if _, err := ValidateKernelBenchJSON([]byte("{not json")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestValidateExecBenchJSON(t *testing.T) {
+	if _, err := ValidateExecBenchJSON(execLedger(t, nil)); err != nil {
+		t.Fatalf("well-formed ledger rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*ExecBenchFile)
+		want   string
+	}{
+		{"no entries", func(f *ExecBenchFile) { f.Entries = nil }, "no entries"},
+		{"no pipeline", func(f *ExecBenchFile) { f.Entries[0].Pipeline = nil }, "no pipeline rows"},
+		{"zero throughput", func(f *ExecBenchFile) { f.Entries[0].Pipeline[0].BatchesPerSec = 0 }, "non-positive measurement"},
+		{"unnamed collective", func(f *ExecBenchFile) { f.Entries[0].Collectives[0].Variant = "" }, "variant is required"},
+		{"recon without kernel", func(f *ExecBenchFile) {
+			f.Entries[0].Recon = []ReconBench{{Updates: 1, Seconds: 1, GUPS: 1}}
+		}, "kernel is required"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateExecBenchJSON(execLedger(t, tc.mutate))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// The committed ledgers must satisfy their own validators — this is the
+// same check `make check` runs via `fdkbench -check-bench`.
+func TestCommittedLedgersValidate(t *testing.T) {
+	for _, tc := range []struct {
+		path string
+		val  func([]byte) error
+	}{
+		{"../../BENCH_kernel.json", func(d []byte) error { _, err := ValidateKernelBenchJSON(d); return err }},
+		{"../../BENCH_exec.json", func(d []byte) error { _, err := ValidateExecBenchJSON(d); return err }},
+	} {
+		data, err := os.ReadFile(tc.path)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		if err := tc.val(data); err != nil {
+			t.Errorf("%s: %v", tc.path, err)
+		}
+	}
+}

@@ -129,6 +129,13 @@ type Rule struct {
 	Count int           // occurrences to fire on (0 means 1, Every means all ≥ Nth)
 	Class Class         // Transient or Permanent (ignored for delays)
 	Delay time.Duration // > 0: stall instead of failing
+	// Phase, when non-empty, additionally scopes the rule to the named
+	// scenario phase (PhaseWarmup, PhaseInject, PhaseRecovery): the rule
+	// fires only while the performing rank is inside that phase of the
+	// armed PhaseSchedule. Occurrence counting is unaffected — Nth/Count
+	// still index the full (Op, Rank) sequence — so adding a phase window
+	// never renumbers the occurrences other rules match on.
+	Phase string
 }
 
 func (r Rule) matches(op string, rank, n int) bool {
@@ -167,6 +174,12 @@ type Injector struct {
 	counts map[opRank]int
 	kills  map[opRank]bool // (rank, batch) boundaries scheduled to kill
 	fired  int
+
+	// Phase state (see phase.go): the armed schedule, each rank's batch
+	// high-water mark, and the transition log scenarios assert on.
+	phases      *PhaseSchedule
+	batchHigh   map[int]int
+	transitions []PhaseTransition
 }
 
 type opRank struct {
@@ -229,6 +242,7 @@ func (in *Injector) BatchStart(rank, batch int) error {
 		return nil
 	}
 	in.mu.Lock()
+	in.advancePhase(rank, batch)
 	key := killKey(rank, batch)
 	armed := in.kills[key]
 	if armed {
@@ -253,10 +267,15 @@ func (in *Injector) Hit(op string, rank int) error {
 	key := opRank{op, rank}
 	in.counts[key]++
 	n := in.counts[key]
+	phase := in.phaseOfLocked(rank)
 	var hit *Rule
 	for i := range in.rules {
-		if in.rules[i].matches(op, rank, n) {
-			hit = &in.rules[i]
+		r := &in.rules[i]
+		if r.Phase != "" && r.Phase != phase {
+			continue
+		}
+		if r.matches(op, rank, n) {
+			hit = r
 			in.fired++
 			break
 		}

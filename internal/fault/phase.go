@@ -1,0 +1,136 @@
+package fault
+
+import "fmt"
+
+// Phase names the three windows of a declarative chaos scenario. A
+// schedule splits a run's batch axis into warmup (let the pipeline reach
+// steady state), inject (the fault rules fire) and recovery (observe the
+// system settle) — the structure every scenario in scenarios/ declares and
+// cmd/slogate gates on. Phases are per-rank: a rank's phase is a pure
+// function of the highest batch boundary it has reached, so phase-scoped
+// rules stay exactly as deterministic as the batch loop itself.
+const (
+	PhaseWarmup   = "warmup"
+	PhaseInject   = "inject"
+	PhaseRecovery = "recovery"
+)
+
+// PhaseSchedule cuts the batch axis [0, Nc) into the three phases:
+// batches [0, WarmupBatches) are warmup, the next InjectBatches are
+// inject, and everything after is recovery. InjectBatches <= 0 extends
+// the inject window to the end of the run (no recovery phase).
+type PhaseSchedule struct {
+	WarmupBatches int
+	InjectBatches int
+}
+
+// Phase returns the phase of a batch index under the schedule.
+func (ps PhaseSchedule) Phase(batch int) string {
+	if batch < ps.WarmupBatches {
+		return PhaseWarmup
+	}
+	if ps.InjectBatches <= 0 || batch < ps.WarmupBatches+ps.InjectBatches {
+		return PhaseInject
+	}
+	return PhaseRecovery
+}
+
+// PhaseTransition records one rank crossing a phase boundary: at the
+// boundary of Batch, the rank left From and entered To.
+type PhaseTransition struct {
+	Rank  int
+	Batch int
+	From  string
+	To    string
+}
+
+func (t PhaseTransition) String() string {
+	return fmt.Sprintf("rank %d: %s→%s at batch %d", t.Rank, t.From, t.To, t.Batch)
+}
+
+// SetPhaseSchedule arms the injector with a phase schedule. Rules carrying
+// a Phase then fire only while their rank is inside that phase; rules with
+// an empty Phase are unaffected. Must be called before the run starts —
+// the schedule is read concurrently by every rank's hot path.
+func (in *Injector) SetPhaseSchedule(ps PhaseSchedule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.phases = &ps
+}
+
+// PhaseSchedule returns the armed schedule, or nil.
+func (in *Injector) PhaseSchedule() *PhaseSchedule {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.phases
+}
+
+// phaseOfLocked returns rank's current phase under the armed schedule
+// (PhaseWarmup before the rank's first batch). Callers hold in.mu.
+func (in *Injector) phaseOfLocked(rank int) string {
+	if in.phases == nil {
+		return ""
+	}
+	batch, ok := in.batchHigh[rank]
+	if !ok {
+		// No boundary reached yet: the rank is still in its first batch's
+		// phase, which is the phase of batch 0.
+		return in.phases.Phase(0)
+	}
+	return in.phases.Phase(batch)
+}
+
+// PhaseOf returns rank's current phase, or "" when no schedule is armed.
+// Deterministic: each rank's batch loop is sequential, so the phase its
+// own operations observe depends only on the schedule and the batch the
+// rank last started.
+func (in *Injector) PhaseOf(rank int) string {
+	if in == nil {
+		return ""
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.phaseOfLocked(rank)
+}
+
+// advancePhase records that rank reached the boundary of batch and
+// appends the phase transition it implies, if any. The per-rank batch
+// high-water mark makes every transition fire exactly once per schedule:
+// batches replayed by a supervised restart (indices restarting at zero on
+// the shrunk world) never move a rank backwards through its phases.
+// Callers hold in.mu.
+func (in *Injector) advancePhase(rank, batch int) {
+	if in.phases == nil {
+		return
+	}
+	if in.batchHigh == nil {
+		in.batchHigh = map[int]int{}
+	}
+	prev, seen := in.batchHigh[rank]
+	if seen && batch <= prev {
+		return
+	}
+	in.batchHigh[rank] = batch
+	from := in.phases.Phase(0)
+	if seen {
+		from = in.phases.Phase(prev)
+	}
+	if to := in.phases.Phase(batch); to != from {
+		in.transitions = append(in.transitions, PhaseTransition{Rank: rank, Batch: batch, From: from, To: to})
+	}
+}
+
+// Transitions returns the phase transitions recorded so far, in the order
+// they fired. With a well-formed schedule each rank contributes each
+// boundary at most once.
+func (in *Injector) Transitions() []PhaseTransition {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]PhaseTransition(nil), in.transitions...)
+}

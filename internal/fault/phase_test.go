@@ -1,0 +1,186 @@
+package fault
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var errTest = errors.New("phase test failure")
+
+func TestPhaseScheduleWindows(t *testing.T) {
+	ps := PhaseSchedule{WarmupBatches: 1, InjectBatches: 2}
+	want := []string{PhaseWarmup, PhaseInject, PhaseInject, PhaseRecovery, PhaseRecovery}
+	for b, w := range want {
+		if got := ps.Phase(b); got != w {
+			t.Errorf("Phase(%d) = %q, want %q", b, got, w)
+		}
+	}
+	// InjectBatches <= 0 extends the inject window to the end of the run.
+	open := PhaseSchedule{WarmupBatches: 2}
+	for b := 2; b < 10; b++ {
+		if got := open.Phase(b); got != PhaseInject {
+			t.Errorf("open schedule Phase(%d) = %q, want inject", b, got)
+		}
+	}
+}
+
+func TestPhaseTransitionsFireExactlyOnce(t *testing.T) {
+	in := NewInjector(7)
+	in.SetPhaseSchedule(PhaseSchedule{WarmupBatches: 1, InjectBatches: 2})
+	// Rank 0 walks every boundary in order; replaying a boundary (a
+	// supervised restart re-entering batch 0) must not re-fire anything.
+	for _, b := range []int{0, 1, 2, 3, 0, 1, 3} {
+		if err := in.BatchStart(0, b); err != nil {
+			t.Fatalf("BatchStart: %v", err)
+		}
+	}
+	got := in.Transitions()
+	want := []PhaseTransition{
+		{Rank: 0, Batch: 1, From: PhaseWarmup, To: PhaseInject},
+		{Rank: 0, Batch: 3, From: PhaseInject, To: PhaseRecovery},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("transition %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if ph := in.PhaseOf(0); ph != PhaseRecovery {
+		t.Errorf("PhaseOf(0) = %q, want recovery", ph)
+	}
+}
+
+func TestPhaseTransitionsSkipIntermediateBoundary(t *testing.T) {
+	// A rank that skips checkpointed batches can jump straight from its
+	// first boundary into recovery: exactly one transition, warmup→recovery.
+	in := NewInjector(1)
+	in.SetPhaseSchedule(PhaseSchedule{WarmupBatches: 1, InjectBatches: 1})
+	if err := in.BatchStart(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.BatchStart(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	got := in.Transitions()
+	if len(got) != 1 || got[0] != (PhaseTransition{Rank: 2, Batch: 3, From: PhaseWarmup, To: PhaseRecovery}) {
+		t.Fatalf("transitions = %v, want one warmup→recovery at batch 3", got)
+	}
+}
+
+func TestPhaseScopedRules(t *testing.T) {
+	in := NewInjector(3, Rule{
+		Op: OpLoad, Rank: AnyRank, Count: Every, Class: Transient, Phase: PhaseInject,
+	})
+	in.SetPhaseSchedule(PhaseSchedule{WarmupBatches: 1, InjectBatches: 1})
+
+	// Batch 0: warmup — loads pass.
+	if err := in.BatchStart(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Hit(OpLoad, 0); err != nil {
+		t.Fatalf("warmup load faulted: %v", err)
+	}
+	// Batch 1: inject — every load faults.
+	if err := in.BatchStart(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Hit(OpLoad, 0); err == nil {
+		t.Fatal("inject-phase load did not fault")
+	}
+	// Batch 2: recovery — loads pass again, even though Count: Every.
+	if err := in.BatchStart(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Hit(OpLoad, 0); err != nil {
+		t.Fatalf("recovery load faulted: %v", err)
+	}
+	if f := in.Fired(); f != 1 {
+		t.Errorf("Fired = %d, want 1", f)
+	}
+}
+
+func TestPhaseScopedRuleKeepsOccurrenceNumbering(t *testing.T) {
+	// The phase filter must not renumber occurrences: a rule pinned to
+	// occurrence 2 fires iff occurrence 2 happens inside its phase,
+	// counting warmup occurrences too.
+	in := NewInjector(3,
+		Rule{Op: OpLoad, Rank: 0, Nth: 2, Class: Transient, Phase: PhaseInject})
+	in.SetPhaseSchedule(PhaseSchedule{WarmupBatches: 1})
+	if err := in.BatchStart(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Hit(OpLoad, 0); err != nil { // occurrence 1, warmup
+		t.Fatalf("occurrence 1 faulted: %v", err)
+	}
+	if err := in.BatchStart(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Hit(OpLoad, 0); err == nil { // occurrence 2, inject
+		t.Fatal("occurrence 2 in inject phase did not fault")
+	}
+	if err := in.Hit(OpLoad, 0); err != nil { // occurrence 3: rule spent
+		t.Fatalf("occurrence 3 faulted: %v", err)
+	}
+}
+
+func TestPhaseOfWithoutSchedule(t *testing.T) {
+	in := NewInjector(1)
+	if ph := in.PhaseOf(0); ph != "" {
+		t.Errorf("PhaseOf without schedule = %q, want empty", ph)
+	}
+	var nilInj *Injector
+	if ph := nilInj.PhaseOf(0); ph != "" {
+		t.Errorf("nil injector PhaseOf = %q, want empty", ph)
+	}
+	if tr := nilInj.Transitions(); tr != nil {
+		t.Errorf("nil injector Transitions = %v, want nil", tr)
+	}
+}
+
+func TestRetryBackoffCapSaturation(t *testing.T) {
+	// Past the attempt where BaseDelay·2^(n−1) crosses MaxDelay the
+	// backoff must saturate: every later attempt draws from the same
+	// jitter window [cap/2, cap] and never exceeds the cap.
+	p := &RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Seed: 11}
+	rng := rand.New(rand.NewSource(p.Seed))
+	for attempt := 1; attempt <= 64; attempt++ {
+		d := p.backoff(attempt, rng)
+		if d > p.MaxDelay {
+			t.Fatalf("attempt %d backoff %v exceeds cap %v", attempt, d, p.MaxDelay)
+		}
+		if attempt >= 4 && d < p.MaxDelay/2 {
+			t.Fatalf("attempt %d backoff %v below saturated jitter floor %v",
+				attempt, d, p.MaxDelay/2)
+		}
+	}
+}
+
+func TestRetryPolicyZeroAttemptsUsesDefaults(t *testing.T) {
+	// MaxAttempts <= 0 is not "never run": it means DefaultRetryAttempts.
+	for _, maxAttempts := range []int{0, -1} {
+		p := &RetryPolicy{MaxAttempts: maxAttempts,
+			BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}
+		calls := 0
+		err := p.Do(func() error { calls++; return MarkTransient(errTest) })
+		if err == nil {
+			t.Fatalf("MaxAttempts=%d: transient error retried into success?", maxAttempts)
+		}
+		if calls != DefaultRetryAttempts {
+			t.Errorf("MaxAttempts=%d: op ran %d times, want DefaultRetryAttempts=%d",
+				maxAttempts, calls, DefaultRetryAttempts)
+		}
+	}
+}
+
+func TestRetryPolicySingleAttempt(t *testing.T) {
+	p := &RetryPolicy{MaxAttempts: 1}
+	calls := 0
+	err := p.Do(func() error { calls++; return MarkTransient(errTest) })
+	if err == nil || calls != 1 {
+		t.Fatalf("MaxAttempts=1: calls=%d err=%v, want one failing attempt", calls, err)
+	}
+}

@@ -1,0 +1,204 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// AnalysisSchema versions the analysis.json layout for downstream
+// consumers (CI validation, dashboards).
+const AnalysisSchema = "distfdk-slo/1"
+
+// Analysis is the slogate artifact: every scenario's robust metrics and
+// gate verdicts, plus the overall pass bit that decides the exit code.
+type Analysis struct {
+	Schema    string           `json:"schema"`
+	Timestamp string           `json:"timestamp,omitempty"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+	Pass      bool             `json:"pass"`
+}
+
+// ScenarioResult aggregates one scenario's paired-arm replay.
+type ScenarioResult struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	Seed        int64  `json:"seed"`
+	Runs        int    `json:"runs"`
+	Expect      string `json:"expect"`
+	// Metrics holds the robust (IQR-trimmed median) aggregates keyed by
+	// catalog name; durations are nanoseconds.
+	Metrics map[string]float64 `json:"metrics"`
+	// Baseline and Injected are the per-run harvests of the two arms;
+	// Dark holds the telemetry-off runs backing overhead_ratio (absent
+	// unless a gate asked for it).
+	Baseline []RunMetrics `json:"baseline"`
+	Injected []RunMetrics `json:"injected"`
+	Dark     []RunMetrics `json:"dark,omitempty"`
+	Gates    []GateResult `json:"gates"`
+	Pass     bool         `json:"pass"`
+	// Error is set when the scenario could not be replayed at all (the
+	// world failed to build); such a scenario always fails.
+	Error string `json:"error,omitempty"`
+}
+
+// GateResult is one evaluated assertion.
+type GateResult struct {
+	Metric string   `json:"metric"`
+	Value  float64  `json:"value"`
+	Min    *float64 `json:"min,omitempty"`
+	Max    *float64 `json:"max,omitempty"`
+	Pass   bool     `json:"pass"`
+	Detail string   `json:"detail,omitempty"`
+}
+
+// NewAnalysis assembles the artifact and computes the overall verdict.
+func NewAnalysis(results []ScenarioResult, timestamp string) *Analysis {
+	a := &Analysis{Schema: AnalysisSchema, Timestamp: timestamp, Pass: true}
+	a.Scenarios = append(a.Scenarios, results...)
+	for _, r := range a.Scenarios {
+		if !r.Pass {
+			a.Pass = false
+		}
+	}
+	return a
+}
+
+// MarshalJSON output of the analysis, indented for artifact diffing.
+func (a *Analysis) JSON() ([]byte, error) {
+	return json.MarshalIndent(a, "", "  ")
+}
+
+// Markdown renders the human-readable gate report.
+func (a *Analysis) Markdown() string {
+	var b strings.Builder
+	verdict := "PASS"
+	if !a.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "# SLO gate: %s\n\n", verdict)
+	if a.Timestamp != "" {
+		fmt.Fprintf(&b, "_%s · schema %s_\n\n", a.Timestamp, a.Schema)
+	}
+	for _, s := range a.Scenarios {
+		mark := "✅"
+		if !s.Pass {
+			mark = "❌"
+		}
+		fmt.Fprintf(&b, "## %s %s\n\n", mark, s.Name)
+		if s.Description != "" {
+			fmt.Fprintf(&b, "%s\n\n", s.Description)
+		}
+		if s.Error != "" {
+			fmt.Fprintf(&b, "scenario failed to run: %s\n\n", s.Error)
+			continue
+		}
+		fmt.Fprintf(&b, "seed %d · %d runs per arm · expect `%s`\n\n", s.Seed, s.Runs, s.Expect)
+		b.WriteString("| gate | value | bound | verdict |\n|---|---|---|---|\n")
+		for _, g := range s.Gates {
+			gm := "pass"
+			if !g.Pass {
+				gm = "**FAIL** — " + g.Detail
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s |\n",
+				g.Metric, fmtMetric(g.Metric, g.Value), fmtBounds(g), gm)
+		}
+		b.WriteString("\n")
+		if keys := metricKeys(s.Metrics); len(keys) > 0 {
+			b.WriteString("<details><summary>all metrics</summary>\n\n")
+			b.WriteString("| metric | value |\n|---|---|\n")
+			for _, k := range keys {
+				fmt.Fprintf(&b, "| %s | %s |\n", k, fmtMetric(k, s.Metrics[k]))
+			}
+			b.WriteString("\n</details>\n\n")
+		}
+	}
+	return b.String()
+}
+
+func metricKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// durationMetric reports whether a metric's unit is nanoseconds.
+func durationMetric(name string) bool {
+	switch name {
+	case "p50_batch_latency", "p95_batch_latency", "p95_reduce_latency",
+		"recovery_time", "backoff_total", "wall_time":
+		return true
+	}
+	return false
+}
+
+func fmtMetric(name string, v float64) string {
+	if name == "outcome" {
+		return "—"
+	}
+	if durationMetric(name) {
+		return time.Duration(v).Round(time.Microsecond).String()
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func fmtBounds(g GateResult) string {
+	if g.Metric == "outcome" {
+		return g.Detail
+	}
+	f := func(p *float64) string {
+		if p == nil {
+			return "·"
+		}
+		return fmtMetric(g.Metric, *p)
+	}
+	return fmt.Sprintf("[%s, %s]", f(g.Min), f(g.Max))
+}
+
+// ValidateAnalysisJSON checks an analysis artifact: schema tag, at least
+// one scenario, gate verdicts consistent with the per-scenario and
+// overall pass bits. CI runs this against the uploaded artifact so a
+// silently-truncated or hand-edited file cannot masquerade as a verdict.
+func ValidateAnalysisJSON(data []byte) (*Analysis, error) {
+	var a Analysis
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	if a.Schema != AnalysisSchema {
+		return nil, fmt.Errorf("analysis: schema %q, want %q", a.Schema, AnalysisSchema)
+	}
+	if len(a.Scenarios) == 0 {
+		return nil, fmt.Errorf("analysis: no scenarios")
+	}
+	overall := true
+	for i, s := range a.Scenarios {
+		if s.Name == "" {
+			return nil, fmt.Errorf("analysis: scenario %d has no name", i)
+		}
+		if s.Error == "" && len(s.Gates) == 0 {
+			return nil, fmt.Errorf("analysis: scenario %q has no gate verdicts", s.Name)
+		}
+		pass := s.Error == ""
+		for _, g := range s.Gates {
+			if g.Metric == "" {
+				return nil, fmt.Errorf("analysis: scenario %q has an unnamed gate", s.Name)
+			}
+			pass = pass && g.Pass
+		}
+		if pass != s.Pass {
+			return nil, fmt.Errorf("analysis: scenario %q pass bit %v contradicts its gates", s.Name, s.Pass)
+		}
+		overall = overall && pass
+	}
+	if overall != a.Pass {
+		return nil, fmt.Errorf("analysis: overall pass bit %v contradicts the scenarios", a.Pass)
+	}
+	return &a, nil
+}

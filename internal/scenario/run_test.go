@@ -1,0 +1,282 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// testWorld is the smallest interesting world: 2 groups × 2 ranks over 4
+// batches of the div-16 synthetic twin.
+const testWorld = `world:
+  groups: 2
+  ranks: 2
+  batches: 4
+`
+
+func mustParse(t *testing.T, doc string) *Config {
+	t.Helper()
+	cfg, err := Parse("test.yaml", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func gate(t *testing.T, res *ScenarioResult, metric string) GateResult {
+	t.Helper()
+	for _, g := range res.Gates {
+		if g.Metric == metric {
+			return g
+		}
+	}
+	t.Fatalf("no %q gate in %+v", metric, res.Gates)
+	return GateResult{}
+}
+
+func TestExecuteFaultFreeBaseline(t *testing.T) {
+	cfg := mustParse(t, `name: baseline
+runs: 2
+`+testWorld+`gates:
+  - metric: faults_injected
+    max: 0
+  - metric: baseline_batches_per_sec
+    min: 0.001
+  - metric: throughput_ratio
+    min: 0.05
+`)
+	res, err := Execute(cfg, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("fault-free scenario failed: %+v", res.Gates)
+	}
+	if len(res.Baseline) != 2 || len(res.Injected) != 2 || len(res.Dark) != 0 {
+		t.Fatalf("arm sizes: base %d inj %d dark %d", len(res.Baseline), len(res.Injected), len(res.Dark))
+	}
+	for _, r := range append(res.Baseline, res.Injected...) {
+		if r.Outcome != OutcomeSuccess || r.Batches == 0 {
+			t.Fatalf("run = %+v", r)
+		}
+	}
+	if res.Metrics["p95_batch_latency"] <= 0 || res.Metrics["wall_time"] <= 0 {
+		t.Errorf("latency metrics missing: %+v", res.Metrics)
+	}
+}
+
+func TestExecuteTransientFaultsAbsorbed(t *testing.T) {
+	cfg := mustParse(t, `name: transient
+runs: 2
+`+testWorld+`faults:
+  - op: load
+    count: 3
+retry:
+  max_attempts: 6
+  base_delay: 100us
+  max_delay: 1ms
+gates:
+  - metric: faults_injected
+    min: 12
+    max: 12
+  - metric: retries
+    min: 12
+`)
+	res, err := Execute(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("transient scenario failed: %+v", res.Gates)
+	}
+	// Occurrence counters are per (op, rank): count 3 on 4 ranks fires
+	// exactly 12 times per run, deterministically.
+	for _, r := range res.Injected {
+		if r.Faults != 12 || r.Retries < 12 {
+			t.Fatalf("injected run = %+v", r)
+		}
+	}
+	for _, r := range res.Baseline {
+		if r.Faults != 0 || r.Retries != 0 {
+			t.Fatalf("baseline run leaked faults: %+v", r)
+		}
+	}
+}
+
+func TestExecuteKillRecovery(t *testing.T) {
+	cfg := mustParse(t, `name: kill
+runs: 2
+`+testWorld+`kills:
+  - rank: 3
+    batch: 1
+supervise:
+  max_restarts: 2
+  restart_backoff: 1ms
+gates:
+  - metric: restarts
+    min: 1
+    max: 1
+  - metric: lost_ranks
+    min: 1
+  - metric: recovery_time
+    min: 1
+    max: 10s
+`)
+	res, err := Execute(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("kill scenario failed: %+v", res.Gates)
+	}
+	if res.Metrics["recovery_time"] <= 0 {
+		t.Errorf("recovery_time = %g, want > 0 after a restart", res.Metrics["recovery_time"])
+	}
+}
+
+// TestExecuteTightenedGateFails is the SLO gate's own smoke test: take a
+// passing scenario, tighten one bound beyond reach, and the verdict must
+// flip with the breached gate named.
+func TestExecuteTightenedGateFails(t *testing.T) {
+	cfg := mustParse(t, `name: tight
+runs: 2
+`+testWorld+`gates:
+  - metric: batches_per_sec
+    min: 1e12
+`)
+	res, err := Execute(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass {
+		t.Fatal("impossible gate passed")
+	}
+	g := gate(t, res, "batches_per_sec")
+	if g.Pass || !strings.Contains(g.Detail, "below min") {
+		t.Fatalf("gate = %+v", g)
+	}
+	if out := gate(t, res, "outcome"); !out.Pass {
+		t.Fatalf("outcome gate should still pass: %+v", out)
+	}
+}
+
+// A scenario that declares a non-success expectation must fail its
+// outcome gate when the run in fact succeeds — degradation declarations
+// are assertions in both directions.
+func TestExecuteExpectMismatchFails(t *testing.T) {
+	cfg := mustParse(t, `name: expect-mismatch
+runs: 1
+`+testWorld+`expect: restart-budget
+gates:
+  - metric: faults_injected
+    max: 0
+`)
+	res, err := Execute(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass {
+		t.Fatal("mismatched expectation passed")
+	}
+	out := gate(t, res, "outcome")
+	if out.Pass || !strings.Contains(out.Detail, "want restart-budget") {
+		t.Fatalf("outcome gate = %+v", out)
+	}
+}
+
+func TestExecuteOverheadArm(t *testing.T) {
+	cfg := mustParse(t, `name: overhead
+runs: 2
+`+testWorld+`gates:
+  - metric: overhead_ratio
+    max: 25
+`)
+	res, err := Execute(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dark) != 2 {
+		t.Fatalf("dark arm has %d runs, want 2", len(res.Dark))
+	}
+	if res.Metrics["overhead_ratio"] <= 0 {
+		t.Fatalf("overhead_ratio = %g", res.Metrics["overhead_ratio"])
+	}
+	for _, r := range res.Dark {
+		if r.Batches != 0 {
+			t.Fatalf("dark run harvested telemetry: %+v", r)
+		}
+	}
+}
+
+func TestRobustMedian(t *testing.T) {
+	if m := RobustMedian(nil); m != 0 {
+		t.Errorf("empty = %g", m)
+	}
+	if m := RobustMedian([]float64{3}); m != 3 {
+		t.Errorf("single = %g", m)
+	}
+	// One wild outlier among stable samples is fenced out.
+	if m := RobustMedian([]float64{10, 11, 10, 12, 11, 500}); m != 11 {
+		t.Errorf("outlier-trimmed median = %g, want 11", m)
+	}
+	// With two samples nothing is dropped: plain median.
+	if m := RobustMedian([]float64{10, 20}); m != 15 {
+		t.Errorf("two-sample median = %g, want 15", m)
+	}
+}
+
+func TestQuantileOf(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	if q := quantileOf(s, 0); q != 1 {
+		t.Errorf("q0 = %g", q)
+	}
+	if q := quantileOf(s, 1); q != 4 {
+		t.Errorf("q1 = %g", q)
+	}
+	if q := quantileOf(s, 0.5); q != 2.5 {
+		t.Errorf("q0.5 = %g", q)
+	}
+}
+
+func TestAnalysisRoundtripAndValidation(t *testing.T) {
+	cfg := mustParse(t, `name: tight
+runs: 1
+`+testWorld+`gates:
+  - metric: batches_per_sec
+    min: 1e12
+`)
+	res, err := Execute(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalysis([]ScenarioResult{*res}, "2026-01-01T00:00:00Z")
+	if a.Pass {
+		t.Fatal("analysis over a failing scenario passed")
+	}
+	data, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ValidateAnalysisJSON(data)
+	if err != nil {
+		t.Fatalf("round-tripped artifact rejected: %v", err)
+	}
+	if back.Pass || len(back.Scenarios) != 1 {
+		t.Fatalf("round-trip = %+v", back)
+	}
+
+	md := a.Markdown()
+	for _, want := range []string{"# SLO gate: FAIL", "tight", "batches_per_sec", "below min"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+
+	// A hand-edited pass bit contradicting the gates is rejected.
+	forged := strings.Replace(string(data), `"pass": false`, `"pass": true`, 1)
+	if _, err := ValidateAnalysisJSON([]byte(forged)); err == nil {
+		t.Fatal("forged pass bit accepted")
+	}
+	if _, err := ValidateAnalysisJSON([]byte(`{"schema":"nope","scenarios":[],"pass":true}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}

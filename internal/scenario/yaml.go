@@ -1,0 +1,305 @@
+// YAML-subset parser for scenario files. The container ships no YAML
+// dependency, and the scenario schema needs only a small, strict slice of
+// the language — block mappings, block sequences, scalars, comments — so
+// this parser implements exactly that slice and nothing else, trading
+// YAML's generality for error messages that always carry the file and
+// line number (the loader's contract: a malformed scenario must say where
+// it is malformed). Unsupported constructs (flow syntax, anchors, tabs,
+// multi-line scalars, nested sequences) are rejected with a line-numbered
+// error rather than silently misparsed.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+type nodeKind int
+
+const (
+	scalarNode nodeKind = iota
+	mapNode
+	seqNode
+)
+
+func (k nodeKind) String() string {
+	switch k {
+	case scalarNode:
+		return "scalar"
+	case mapNode:
+		return "mapping"
+	case seqNode:
+		return "sequence"
+	}
+	return "unknown"
+}
+
+// node is one parsed YAML value. Every node remembers the line it started
+// on; mapping nodes additionally remember each key's line, so decode
+// errors point at the offending entry, not the whole block.
+type node struct {
+	line   int
+	kind   nodeKind
+	scalar string
+	quoted bool // scalar came quoted: always a string, never a number
+	keys   []string
+	vals   map[string]*node
+	keyLn  map[string]int
+	items  []*node
+}
+
+func (n *node) child(key string) (*node, bool) {
+	if n == nil || n.kind != mapNode {
+		return nil, false
+	}
+	c, ok := n.vals[key]
+	return c, ok
+}
+
+// srcLine is one significant source line: 1-based number, indentation in
+// spaces, and the content with indentation and comments stripped.
+type srcLine struct {
+	num    int
+	indent int
+	text   string
+}
+
+type parser struct {
+	path  string
+	lines []srcLine
+	pos   int
+}
+
+func (p *parser) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", p.path, line, fmt.Sprintf(format, args...))
+}
+
+// parseYAML parses data into a root mapping node.
+func parseYAML(path string, data []byte) (*node, error) {
+	p := &parser{path: path}
+	if err := p.scan(data); err != nil {
+		return nil, err
+	}
+	if len(p.lines) == 0 {
+		return nil, fmt.Errorf("%s: empty scenario file", path)
+	}
+	if first := p.lines[0]; first.indent != 0 {
+		return nil, p.errf(first.num, "top-level block must start at column 0")
+	}
+	root, err := p.parseBlock(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, p.errf(p.lines[p.pos].num, "content after the top-level block (bad indentation?)")
+	}
+	if root.kind != mapNode {
+		return nil, p.errf(root.line, "top level must be a mapping, got a %s", root.kind)
+	}
+	return root, nil
+}
+
+// scan splits data into significant lines, rejecting tabs in indentation
+// and stripping comments and document markers.
+func (p *parser) scan(data []byte) error {
+	for num, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, "\r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return p.errf(num+1, "tab in indentation (use spaces)")
+		}
+		text := stripComment(line[indent:])
+		if text == "" || text == "---" {
+			continue
+		}
+		p.lines = append(p.lines, srcLine{num: num + 1, indent: indent, text: text})
+	}
+	return nil
+}
+
+// stripComment removes a trailing comment: a '#' at the start of the
+// value or preceded by whitespace, outside single or double quotes.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t') {
+				return strings.TrimRight(s[:i], " \t")
+			}
+		}
+	}
+	return strings.TrimRight(s, " \t")
+}
+
+// parseBlock parses the block starting at the current line, whose indent
+// must be exactly indent: a sequence when the first line is a "- " item,
+// a mapping otherwise.
+func (p *parser) parseBlock(indent int) (*node, error) {
+	if isSeqItem(p.lines[p.pos].text) {
+		return p.parseSeq(indent)
+	}
+	return p.parseMap(indent)
+}
+
+func isSeqItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+func (p *parser) parseMap(indent int) (*node, error) {
+	n := &node{line: p.lines[p.pos].num, kind: mapNode,
+		vals: map[string]*node{}, keyLn: map[string]int{}}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, p.errf(ln.num, "unexpected indentation (expected column %d, got %d)", indent, ln.indent)
+		}
+		if isSeqItem(ln.text) {
+			return nil, p.errf(ln.num, "sequence item inside a mapping block")
+		}
+		key, value, err := p.splitKey(ln)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := n.vals[key]; dup {
+			return nil, p.errf(ln.num, "duplicate key %q (first at line %d)", key, n.keyLn[key])
+		}
+		var child *node
+		if value != "" {
+			child = p.scalarFrom(ln.num, value)
+			p.pos++
+		} else {
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, p.errf(ln.num, "key %q has no value (expected a scalar or an indented block)", key)
+			}
+			child, err = p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+		}
+		n.keys = append(n.keys, key)
+		n.vals[key] = child
+		n.keyLn[key] = ln.num
+	}
+	return n, nil
+}
+
+func (p *parser) parseSeq(indent int) (*node, error) {
+	n := &node{line: p.lines[p.pos].num, kind: seqNode}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, p.errf(ln.num, "unexpected indentation in sequence (expected column %d, got %d)", indent, ln.indent)
+		}
+		if !isSeqItem(ln.text) {
+			break
+		}
+		rest := strings.TrimLeft(strings.TrimPrefix(ln.text, "-"), " ")
+		itemIndent := ln.indent + 2
+		var child *node
+		var err error
+		switch {
+		case rest == "":
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= ln.indent {
+				return nil, p.errf(ln.num, "empty sequence item")
+			}
+			child, err = p.parseBlock(p.lines[p.pos].indent)
+		case isSeqItem(rest):
+			return nil, p.errf(ln.num, "nested sequences are not supported")
+		case isInlineKey(rest):
+			// "- key: value": the item is a mapping whose first entry sits
+			// on the dash line; rewrite it at the item's indentation and
+			// let parseMap pick up the continuation lines.
+			p.lines[p.pos] = srcLine{num: ln.num, indent: itemIndent, text: rest}
+			child, err = p.parseMap(itemIndent)
+		default:
+			child = p.scalarFrom(ln.num, rest)
+			p.pos++
+		}
+		if err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, child)
+	}
+	return n, nil
+}
+
+// isInlineKey reports whether a sequence item's inline content is the
+// first entry of a mapping ("key:" or "key: value" with a bare key).
+func isInlineKey(s string) bool {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 {
+		return false
+	}
+	if i+1 < len(s) && s[i+1] != ' ' {
+		return false
+	}
+	return validKey(s[:i])
+}
+
+// splitKey parses "key:" / "key: value" and validates the key.
+func (p *parser) splitKey(ln srcLine) (key, value string, err error) {
+	i := strings.IndexByte(ln.text, ':')
+	if i <= 0 {
+		return "", "", p.errf(ln.num, "expected \"key: value\", got %q", ln.text)
+	}
+	key = ln.text[:i]
+	if !validKey(key) {
+		return "", "", p.errf(ln.num, "invalid key %q (letters, digits, '-', '_' and '.' only)", key)
+	}
+	rest := ln.text[i+1:]
+	if rest == "" {
+		return key, "", nil
+	}
+	if rest[0] != ' ' {
+		return "", "", p.errf(ln.num, "missing space after %q:", key)
+	}
+	return key, strings.TrimSpace(rest), nil
+}
+
+func validKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '-' || r == '_' || r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// scalarFrom builds a scalar node, unquoting matched single or double
+// quotes (no escape processing — the schema has no need for it).
+func (p *parser) scalarFrom(line int, s string) *node {
+	quoted := false
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			s = s[1 : len(s)-1]
+			quoted = true
+		}
+	}
+	return &node{line: line, kind: scalarNode, scalar: s, quoted: quoted}
+}

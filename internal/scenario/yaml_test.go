@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLShapes(t *testing.T) {
+	doc := `# leading comment
+name: demo
+description: "quoted: with colon # not a comment"
+world:
+  groups: 2
+  ranks: 2
+faults:
+  - op: load
+    count: every
+  - op: send
+kills:
+  - rank: 1
+    batch: 2
+list:
+  - one
+  - two # trailing comment
+`
+	root, err := parseYAML("demo.yaml", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.vals["name"].scalar; got != "demo" {
+		t.Errorf("name = %q", got)
+	}
+	desc := root.vals["description"]
+	if !desc.quoted || desc.scalar != "quoted: with colon # not a comment" {
+		t.Errorf("description = %+v", desc)
+	}
+	w := root.vals["world"]
+	if w.kind != mapNode || w.vals["ranks"].scalar != "2" {
+		t.Errorf("world = %+v", w)
+	}
+	f := root.vals["faults"]
+	if f.kind != seqNode || len(f.items) != 2 {
+		t.Fatalf("faults = %+v", f)
+	}
+	if f.items[0].vals["count"].scalar != "every" {
+		t.Errorf("faults[0] = %+v", f.items[0])
+	}
+	if f.items[1].vals["op"].scalar != "send" {
+		t.Errorf("faults[1] = %+v", f.items[1])
+	}
+	if k := root.vals["kills"].items[0]; k.vals["batch"].scalar != "2" {
+		t.Errorf("kills[0] = %+v", k)
+	}
+	l := root.vals["list"]
+	if len(l.items) != 2 || l.items[1].scalar != "two" {
+		t.Errorf("list = %+v", l)
+	}
+	// Key lines are tracked for decoder errors.
+	if root.keyLn["world"] != 4 {
+		t.Errorf("world declared on line %d, want 4", root.keyLn["world"])
+	}
+}
+
+// TestParseYAMLErrors pins the loader's contract: every malformed file is
+// rejected with the file name and the offending line number.
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // must appear in the error
+	}{
+		{"tab indent", "a: 1\n\tb: 2\n", "bad.yaml:2: tab in indentation"},
+		{"duplicate key", "a: 1\nb: 2\na: 3\n", "bad.yaml:3: duplicate key \"a\" (first at line 1)"},
+		{"key without value", "a: 1\nb:\nc: 2\n", "bad.yaml:2: key \"b\" has no value"},
+		{"dangling final key", "a: 1\nb:\n", "bad.yaml:2: key \"b\" has no value"},
+		{"missing space", "a:1\n", "bad.yaml:1: missing space after \"a\""},
+		{"not a mapping line", "just words\n", "bad.yaml:1: expected \"key: value\""},
+		{"invalid key", "a b: 1\n", "bad.yaml:1: invalid key"},
+		{"nested sequence", "a:\n  - - x\n", "bad.yaml:2: nested sequences"},
+		{"seq item in map", "a: 1\n- b\n", "bad.yaml:2: sequence item inside a mapping"},
+		{"over-indent", "a: 1\n   b: 2\n", "bad.yaml:2: unexpected indentation"},
+		{"top-level indented", "  a: 1\n", "bad.yaml:1: top-level block must start at column 0"},
+		{"empty item", "a:\n  -\nb: 1\n", "bad.yaml:2: empty sequence item"},
+		{"top-level sequence", "- a\n- b\n", "must be a mapping"},
+		{"empty file", "# only comments\n---\n", "empty scenario file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML("bad.yaml", []byte(tc.doc))
+			if err == nil {
+				t.Fatalf("parse accepted %q", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestStripComment(t *testing.T) {
+	cases := [][2]string{
+		{"value # comment", "value"},
+		{"# whole line", ""},
+		{"'a # b'", "'a # b'"},
+		{`"a # b" # real`, `"a # b"`},
+		{"no#comment", "no#comment"}, // '#' not preceded by space
+	}
+	for _, c := range cases {
+		if got := stripComment(c[0]); got != c[1] {
+			t.Errorf("stripComment(%q) = %q, want %q", c[0], got, c[1])
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := HistogramSnapshot{
+		Bounds: []int64{10, 20, 40},
+		Counts: []int64{2, 2, 0, 0}, // 4 observations ≤ 20
+		Count:  4,
+	}
+	if q := h.Quantile(0.5); q != 10 {
+		t.Errorf("Quantile(0.5) = %g, want 10 (bucket edge)", q)
+	}
+	if q := h.Quantile(1); q != 20 {
+		t.Errorf("Quantile(1) = %g, want 20", q)
+	}
+	if q := h.Quantile(0.25); q != 5 {
+		t.Errorf("Quantile(0.25) = %g, want 5 (mid-bucket interpolation)", q)
+	}
+	empty := HistogramSnapshot{}
+	if q := empty.Quantile(0.9); q != 0 {
+		t.Errorf("empty Quantile = %g, want 0", q)
+	}
+	// A quantile in the overflow bucket reports the last finite bound.
+	over := HistogramSnapshot{Bounds: []int64{10}, Counts: []int64{0, 3}, Count: 3}
+	if q := over.Quantile(0.5); q != 10 {
+		t.Errorf("overflow Quantile = %g, want last bound 10", q)
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ops")
+	g := reg.Gauge("depth")
+	h := reg.HistogramWith("lat", []int64{100})
+	c.Add(3)
+	g.Set(7)
+	h.Observe(50)
+	end := reg.Span("work", 0)
+	end()
+	before := reg.Snapshot()
+
+	c.Add(2)
+	g.Set(9)
+	h.Observe(500)
+	end2 := reg.Span("work", 1)
+	end2()
+	after := reg.Snapshot()
+
+	d := after.Diff(before)
+	if d.Counters["ops"] != 2 {
+		t.Errorf("counter delta = %d, want 2", d.Counters["ops"])
+	}
+	if d.Gauges["depth"] != 9 {
+		t.Errorf("gauge = %d, want last-value 9", d.Gauges["depth"])
+	}
+	dh := d.Histograms["lat"]
+	if dh.Count != 1 || dh.Counts[1] != 1 || dh.Counts[0] != 0 {
+		t.Errorf("histogram delta = %+v, want one overflow observation", dh)
+	}
+	if len(d.Spans) != 1 || d.Spans[0].Batch != 1 {
+		t.Errorf("span suffix = %v, want the batch-1 span only", d.Spans)
+	}
+	// Diffing against a snapshot from a different (longer) run clamps to
+	// empty rather than going negative.
+	zero := before.Diff(after)
+	if zero.Counters["ops"] != 0 || len(zero.Spans) != 0 {
+		t.Errorf("reversed diff = %+v, want clamped empty", zero)
+	}
+}
+
+func TestCounterTotalAndMerge(t *testing.T) {
+	snaps := []Snapshot{
+		{Rank: 0, Counters: map[string]int64{"core.batches": 4},
+			Histograms: map[string]HistogramSnapshot{
+				"lat": {Bounds: []int64{10}, Counts: []int64{1, 0}, Sum: 5, Count: 1}}},
+		{Rank: 1, Counters: map[string]int64{"core.batches": 3},
+			Histograms: map[string]HistogramSnapshot{
+				"lat": {Bounds: []int64{10}, Counts: []int64{0, 2}, Sum: 60, Count: 2}}},
+		{Rank: SharedRank, Counters: map[string]int64{"supervise.restarts": 1}},
+	}
+	if got := CounterTotal(snaps, "core.batches"); got != 7 {
+		t.Errorf("CounterTotal = %d, want 7", got)
+	}
+	if got := CounterTotal(snaps, "absent"); got != 0 {
+		t.Errorf("CounterTotal(absent) = %d, want 0", got)
+	}
+	m, ok := MergeHistograms(snaps, "lat")
+	if !ok || m.Count != 3 || m.Sum != 65 || m.Counts[1] != 2 {
+		t.Errorf("MergeHistograms = %+v ok=%v, want 3 observations summing 65", m, ok)
+	}
+	if _, ok := MergeHistograms(snaps, "absent"); ok {
+		t.Error("MergeHistograms(absent) reported ok")
+	}
+}
+
+func TestSpanDurations(t *testing.T) {
+	snaps := []Snapshot{
+		{Spans: []Span{
+			{Name: "backproject", Start: 0, End: 30 * time.Nanosecond},
+			{Name: "load", Start: 0, End: 5 * time.Nanosecond},
+		}},
+		{Spans: []Span{{Name: "backproject", Start: 10, End: 20}}},
+	}
+	ds := SpanDurations(snaps, "backproject")
+	if len(ds) != 2 || ds[0] != 10 || ds[1] != 30 {
+		t.Errorf("SpanDurations = %v, want sorted [10 30]", ds)
+	}
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check chaos chaos-recover trace-smoke slo-gate bench bench-smoke bench-json bench-exec experiments examples clean
+.PHONY: all build test race check chaos chaos-recover trace-smoke status-smoke slo-gate bench bench-smoke bench-json bench-exec experiments examples clean
 
 all: build test
 
@@ -26,12 +26,15 @@ check:
 	$(GO) test -race ./...
 	$(GO) run ./cmd/fdkbench -check-bench BENCH_kernel.json,BENCH_exec.json
 	$(MAKE) trace-smoke
+	$(MAKE) status-smoke
 	$(MAKE) chaos-recover
 
 # Telemetry artifact gate: a tiny distributed reconstruction with tracing
 # and metrics on, then the artifact validators. Catches any drift in the
 # Chrome-trace / metrics JSON shape that the unit tests' synthetic
-# snapshots wouldn't exercise.
+# snapshots wouldn't exercise. -require-matched-flows makes the validator
+# insist every mpi send links to its recv via a flow arrow, so a telemetry
+# change that silently drops the causal edges fails here.
 trace-smoke:
 	mkdir -p artifacts
 	$(GO) run ./cmd/fdkrecon -div 16 -n 32 -batches 4 -groups 2 -ranks 2 \
@@ -40,8 +43,20 @@ trace-smoke:
 		-metrics-json artifacts/metrics_smoke.json
 	$(GO) run ./cmd/fdkbench \
 		-check-trace artifacts/trace_smoke.json \
-		-check-metrics artifacts/metrics_smoke.json
+		-check-metrics artifacts/metrics_smoke.json \
+		-require-matched-flows
 	rm -f artifacts/trace_smoke_vol.bin
+
+# Live introspection gate: the same tiny world with -pprof on and the
+# -status-poll loop hitting the live /metrics and /statusz endpoints
+# while back-projection is in flight. fdkrecon exits non-zero unless at
+# least one poll validated both endpoints AND observed in-flight work.
+status-smoke:
+	mkdir -p artifacts
+	$(GO) run ./cmd/fdkrecon -div 16 -n 32 -batches 8 -groups 2 -ranks 2 \
+		-o artifacts/status_smoke_vol.bin \
+		-pprof 127.0.0.1:6161 -status-poll 5ms
+	rm -f artifacts/status_smoke_vol.bin
 
 # Fault-tolerance gate: the seeded chaos matrix (transient recovery must be
 # bit-identical, permanent faults must surface typed and bounded with zero

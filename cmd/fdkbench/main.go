@@ -15,12 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/exec"
 	"runtime"
 	"strings"
+	"time"
 
 	"distfdk/internal/experiments"
 	"distfdk/internal/telemetry"
@@ -40,21 +40,26 @@ func main() {
 	parity := flag.Bool("parity", false, "validate the recurrence kernel — and, when the host has AVX2, the simd kernel — against the exact kernel (parity gates + streaming==batch identity); exit non-zero on violation")
 	smoke := flag.Bool("smoke", false, "reduced-size -kernel-json run for CI: smaller scenario, 1 rep, parity on")
 	checkTrace := flag.String("check-trace", "", "validate a Chrome trace artifact (exit non-zero on violation) and exit")
+	requireFlows := flag.Bool("require-matched-flows", false, "with -check-trace, additionally require flow events to be present and fully matched (every recv arrow has its send)")
 	checkMetrics := flag.String("check-metrics", "", "validate a metrics JSON artifact (exit non-zero on violation) and exit")
+	checkProm := flag.String("check-prom", "", "validate a Prometheus text exposition file (exit non-zero on violation) and exit")
 	checkBench := flag.String("check-bench", "", "validate comma-separated BENCH_kernel.json / BENCH_exec.json ledgers (exit non-zero on violation) and exit")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address during the benchmarks")
+	pprofAddr := flag.String("pprof", "", "serve pprof + live /metrics + /statusz on this address during the benchmarks")
 	flag.Parse()
 
+	// The bench run's own progress registry: the live endpoints show which
+	// experiment is in flight and how many finished.
+	benchRun := telemetry.NewRun(1)
 	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("fdkbench: pprof server on %s: %v", *pprofAddr, err)
-			}
-		}()
-		fmt.Printf("profiling endpoints on http://%s/debug/pprof\n", *pprofAddr)
+		srv, err := telemetry.ListenStatus(*pprofAddr, benchRun)
+		if err != nil {
+			log.Fatalf("fdkbench: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("introspection endpoints on http://%s/{debug/pprof,metrics,statusz}\n", srv.Addr())
 	}
-	if *checkTrace != "" || *checkMetrics != "" {
-		checkArtifacts(*checkTrace, *checkMetrics)
+	if *checkTrace != "" || *checkMetrics != "" || *checkProm != "" {
+		checkArtifacts(*checkTrace, *checkMetrics, *checkProm, *requireFlows)
 		return
 	}
 	if *checkBench != "" {
@@ -118,12 +123,17 @@ func main() {
 		fmt.Print(entry.Summary())
 		return
 	}
+	reg := benchRun.Rank(0)
+	reg.SetStatus("stage", "experiments")
+	reg.SetStatus("experiment", *exp)
 	tables, err := experiments.Run(*exp, experiments.RunOptions{OutDir: *out, Workers: *workers})
+	reg.SetStatus("stage", "done")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fdkbench:", err)
 		os.Exit(1)
 	}
 	for _, t := range tables {
+		reg.Counter("bench.tables").Inc()
 		fmt.Println(t.Render())
 	}
 }
@@ -131,19 +141,30 @@ func main() {
 // checkArtifacts validates telemetry artifacts a run produced — the
 // `make trace-smoke` gate. Exits non-zero with the violation on stderr so
 // CI fails loudly on a malformed trace.
-func checkArtifacts(tracePath, metricsPath string) {
+func checkArtifacts(tracePath, metricsPath, promPath string, requireFlows bool) {
 	if tracePath != "" {
 		data, err := os.ReadFile(tracePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fdkbench:", err)
 			os.Exit(1)
 		}
-		events, pids, err := telemetry.ValidateChromeTrace(data)
+		sum, err := telemetry.ValidateChromeTrace(data)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fdkbench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("trace %s: %d duration events across %d processes\n", tracePath, events, len(pids))
+		fmt.Printf("trace %s: %d duration events across %d processes, %d/%d flow arrows matched\n",
+			tracePath, sum.Events, len(sum.Pids), sum.FlowEnds, sum.FlowBegins)
+		if requireFlows {
+			if sum.FlowBegins == 0 {
+				fmt.Fprintf(os.Stderr, "fdkbench: trace %s carries no flow events\n", tracePath)
+				os.Exit(1)
+			}
+			if n := sum.Unmatched(); n > 0 {
+				fmt.Fprintf(os.Stderr, "fdkbench: trace %s has %d unmatched flow begins\n", tracePath, n)
+				os.Exit(1)
+			}
+		}
 	}
 	if metricsPath != "" {
 		data, err := os.ReadFile(metricsPath)
@@ -158,6 +179,24 @@ func checkArtifacts(tracePath, metricsPath string) {
 		}
 		fmt.Printf("metrics %s: %d rank sections, %d skewed counters\n",
 			metricsPath, len(rep.Ranks), len(rep.Cluster))
+		if cp := rep.CriticalPath; cp != nil {
+			fmt.Printf("metrics %s: critical path %v (comm %.1f%%, wait %.1f%%)\n",
+				metricsPath, time.Duration(cp.MakespanNs).Round(time.Microsecond),
+				100*cp.CommFraction, 100*cp.WaitFraction)
+		}
+	}
+	if promPath != "" {
+		data, err := os.ReadFile(promPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdkbench:", err)
+			os.Exit(1)
+		}
+		n, err := telemetry.ValidatePrometheus(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdkbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("prom %s: %d samples\n", promPath, n)
 	}
 }
 

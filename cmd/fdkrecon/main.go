@@ -15,11 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"distfdk/internal/backproject"
@@ -43,35 +43,36 @@ func main() {
 	log.SetPrefix("fdkrecon: ")
 
 	var (
-		dsName   = flag.String("dataset", "tomo_00030", "dataset geometry (see DESIGN.md registry)")
-		div      = flag.Int("div", 8, "detector/angle scale divisor for the synthetic twin")
-		outN     = flag.Int("n", 64, "output volume size n³")
-		inPath   = flag.String("in", "", "projection container (.fbp); empty synthesises the dataset's phantom")
-		outPath  = flag.String("o", "volume.fbk", "output volume file")
-		slice    = flag.String("slice", "", "optional central-slice PGM path")
-		window   = flag.String("window", "ram-lak", "ramp window: ram-lak, shepp-logan, cosine, hamming, hann")
-		groups   = flag.Int("groups", 1, "Ng rank groups")
-		ranks    = flag.Int("ranks", 1, "Nr ranks per group")
-		batches  = flag.Int("batches", core.DefaultBatchCount, "Nc slab batches")
-		memMB    = flag.Int64("devmem", 0, "device memory budget in MiB (0 = unlimited)")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "CPU parallelism")
-		timeline = flag.Bool("timeline", false, "print the pipeline timeline (single-rank mode)")
-		zlo      = flag.Int("zlo", -1, "first slice of a Z-window (ROI) reconstruction; -1 = full volume")
-		znz      = flag.Int("znz", 0, "slice count of the Z-window (with -zlo)")
-		stats    = flag.Bool("stats", false, "print volume statistics")
-		algo     = flag.String("algo", "fdk", "reconstruction algorithm: fdk, sirt, ossart, mlem, osem")
-		iters    = flag.Int("iters", 10, "iterations for the iterative algorithms")
-		traceOut = flag.String("trace-out", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) of the run")
-		metrics  = flag.String("metrics-json", "", "write the run's metrics JSON artifact")
-		pprof    = flag.String("pprof", "", "serve net/http/pprof and an expvar telemetry snapshot on this address (e.g. localhost:6060)")
-		journal  = flag.String("journal", "", "checkpoint journal path (multi-rank mode): durable slab output with crash resume and supervised shrink-and-resume through rank loss")
-		restarts = flag.Int("max-restarts", core.DefaultMaxRestarts, "restart budget of the supervised run (with -journal)")
-		backoff  = flag.Duration("restart-backoff", core.DefaultRestartBackoff, "initial relaunch backoff, doubled per restart (with -journal)")
-		deadline = flag.Duration("deadline", 0, "collective deadline: a lost peer surfaces as a typed error within this bound (0 waits for world teardown)")
-		kills    = flag.String("kill", "", "chaos: comma-separated rank@batch kill schedule, e.g. 1@1,2@0 (recovery drill with -journal)")
-		kernelFl = flag.String("kernels", "recurrence", "back-projection arithmetic: recurrence, exact (the PR-1 escape hatch) or simd (AVX2; silently falls back to recurrence elsewhere)")
-		layoutFl = flag.String("ring-layout", "interleaved", "projection ring layout: interleaved or proj-major")
-		fusionFl = flag.String("fusion", "auto", "filter-into-ring fusion: auto, on, off")
+		dsName     = flag.String("dataset", "tomo_00030", "dataset geometry (see DESIGN.md registry)")
+		div        = flag.Int("div", 8, "detector/angle scale divisor for the synthetic twin")
+		outN       = flag.Int("n", 64, "output volume size n³")
+		inPath     = flag.String("in", "", "projection container (.fbp); empty synthesises the dataset's phantom")
+		outPath    = flag.String("o", "volume.fbk", "output volume file")
+		slice      = flag.String("slice", "", "optional central-slice PGM path")
+		window     = flag.String("window", "ram-lak", "ramp window: ram-lak, shepp-logan, cosine, hamming, hann")
+		groups     = flag.Int("groups", 1, "Ng rank groups")
+		ranks      = flag.Int("ranks", 1, "Nr ranks per group")
+		batches    = flag.Int("batches", core.DefaultBatchCount, "Nc slab batches")
+		memMB      = flag.Int64("devmem", 0, "device memory budget in MiB (0 = unlimited)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "CPU parallelism")
+		timeline   = flag.Bool("timeline", false, "print the pipeline timeline (single-rank mode)")
+		zlo        = flag.Int("zlo", -1, "first slice of a Z-window (ROI) reconstruction; -1 = full volume")
+		znz        = flag.Int("znz", 0, "slice count of the Z-window (with -zlo)")
+		stats      = flag.Bool("stats", false, "print volume statistics")
+		algo       = flag.String("algo", "fdk", "reconstruction algorithm: fdk, sirt, ossart, mlem, osem")
+		iters      = flag.Int("iters", 10, "iterations for the iterative algorithms")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) of the run")
+		metrics    = flag.String("metrics-json", "", "write the run's metrics JSON artifact")
+		pprof      = flag.String("pprof", "", "serve net/http/pprof, Prometheus /metrics and /statusz on this address (e.g. localhost:6060)")
+		statusPoll = flag.Duration("status-poll", 0, "with -pprof: poll the live /metrics and /statusz endpoints at this interval during the run and fail unless they validate (smoke test)")
+		journal    = flag.String("journal", "", "checkpoint journal path (multi-rank mode): durable slab output with crash resume and supervised shrink-and-resume through rank loss")
+		restarts   = flag.Int("max-restarts", core.DefaultMaxRestarts, "restart budget of the supervised run (with -journal)")
+		backoff    = flag.Duration("restart-backoff", core.DefaultRestartBackoff, "initial relaunch backoff, doubled per restart (with -journal)")
+		deadline   = flag.Duration("deadline", 0, "collective deadline: a lost peer surfaces as a typed error within this bound (0 waits for world teardown)")
+		kills      = flag.String("kill", "", "chaos: comma-separated rank@batch kill schedule, e.g. 1@1,2@0 (recovery drill with -journal)")
+		kernelFl   = flag.String("kernels", "recurrence", "back-projection arithmetic: recurrence, exact (the PR-1 escape hatch) or simd (AVX2; silently falls back to recurrence elsewhere)")
+		layoutFl   = flag.String("ring-layout", "interleaved", "projection ring layout: interleaved or proj-major")
+		fusionFl   = flag.String("fusion", "auto", "filter-into-ring fusion: auto, on, off")
 	)
 	flag.Parse()
 
@@ -193,8 +194,18 @@ func main() {
 	if *traceOut != "" || *metrics != "" || *pprof != "" {
 		run = telemetry.NewRun(plan.Ranks())
 	}
+	// finishPoll stops the -status-poll loop (if any) and fails the run
+	// unless the live endpoints validated while work was in flight.
+	finishPoll := func() {}
 	if *pprof != "" {
-		servePprof(*pprof, run)
+		srv, err := servePprof(*pprof, run)
+		if err != nil {
+			// -pprof was explicitly requested; a busy port must fail fast,
+			// not leave the run silently unobservable.
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		finishPoll = startStatusPoll(srv.Addr(), *statusPoll)
 	}
 
 	if plan.Ranks() == 1 {
@@ -212,6 +223,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		finishPoll()
 		fmt.Printf("reconstructed %d slabs in %v (H2D %.1f MiB, D2H %.1f MiB)\n",
 			rep.Slabs, rep.Elapsed.Round(1e6),
 			float64(rep.Ledger.H2DBytes)/(1<<20), float64(rep.Ledger.D2HBytes)/(1<<20))
@@ -243,6 +255,7 @@ func main() {
 				traceOut: *traceOut,
 				metrics:  *metrics,
 			})
+			finishPoll()
 			// The SlabWriter already promoted the volume; voxels are only
 			// loaded back when the post-run views need them.
 			if *slice != "" || *stats {
@@ -274,6 +287,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		finishPoll()
 		fmt.Printf("reconstructed on %d ranks (%d groups × %d) in %v; reduce traffic %.1f MiB\n",
 			plan.Ranks(), *groups, *ranks, rep.Elapsed.Round(1e6),
 			float64(rep.TotalReduceBytes())/(1<<20))
@@ -439,20 +453,51 @@ func runIterative(algo string, sys *geometry.System, source projection.Source, i
 	return nil, fmt.Errorf("unknown algorithm %q (fdk, sirt, ossart, mlem, osem)", algo)
 }
 
-// servePprof starts the live profiling endpoint: net/http/pprof on
-// /debug/pprof plus an expvar view of the current telemetry snapshots on
-// /debug/vars, so a long reconstruction can be profiled and its counters
-// watched without waiting for the artifacts.
-func servePprof(addr string, run *telemetry.Run) {
-	expvar.Publish("telemetry", expvar.Func(func() any {
-		return run.Snapshots()
-	}))
-	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			log.Printf("pprof server on %s: %v", addr, err)
+var publishTelemetry sync.Once
+
+// servePprof starts the live introspection endpoint: net/http/pprof on
+// /debug/pprof, an expvar view of the telemetry snapshots on /debug/vars,
+// Prometheus text exposition on /metrics and the distfdk-status/1 JSON on
+// /statusz — all live while back-projection runs. The bind is synchronous,
+// so a busy port surfaces as a typed *telemetry.ServeError to the caller
+// instead of a log line from a background goroutine.
+func servePprof(addr string, run *telemetry.Run) (*telemetry.StatusServer, error) {
+	// expvar panics on duplicate names: publish once even when the caller
+	// retries after a failed bind.
+	publishTelemetry.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			return run.Snapshots()
+		}))
+	})
+	srv, err := telemetry.ListenStatus(addr, run)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("introspection endpoints on http://%s/{debug/pprof,metrics,statusz}\n", srv.Addr())
+	return srv, nil
+}
+
+// startStatusPoll runs the -status-poll loop against the live endpoint and
+// returns the closer that stops it and enforces the smoke contract: at
+// least one poll validated, at least one observed the run in flight.
+// A non-positive interval disables polling.
+func startStatusPoll(addr string, every time.Duration) func() {
+	if every <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	resCh := make(chan telemetry.PollResult, 1)
+	go func() { resCh <- telemetry.PollStatus("http://"+addr, every, done) }()
+	return func() {
+		close(done)
+		res := <-resCh
+		if res.Valid == 0 || res.Active == 0 {
+			log.Fatalf("-status-poll: %d polls, %d valid, %d active (last error: %v)",
+				res.Polls, res.Valid, res.Active, res.LastErr)
 		}
-	}()
-	fmt.Printf("profiling endpoints on http://%s/debug/pprof (telemetry at /debug/vars)\n", addr)
+		fmt.Printf("status poll: %d/%d polls valid, %d observed in-flight work\n",
+			res.Valid, res.Polls, res.Active)
+	}
 }
 
 // writeTelemetry writes the requested trace/metrics artifacts from the

@@ -2,10 +2,12 @@ package main
 
 import (
 	"errors"
+	"net"
 	"testing"
 	"time"
 
 	"distfdk/internal/core"
+	"distfdk/internal/telemetry"
 )
 
 func TestValidateRunFlags(t *testing.T) {
@@ -71,4 +73,48 @@ func TestBuildKillInjector(t *testing.T) {
 			t.Errorf("accepted bad kill spec %q", bad)
 		}
 	}
+}
+
+// An explicit -pprof on a busy port must surface as a typed error from
+// servePprof before any reconstruction work starts — the CLI fails fast
+// instead of running unobservable.
+func TestServePprofBindFailure(t *testing.T) {
+	run := telemetry.NewRun(1)
+	busy, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer busy.Close()
+
+	_, err = servePprof(busy.Addr().String(), run)
+	if err == nil {
+		t.Fatal("servePprof bound a busy port")
+	}
+	var se *telemetry.ServeError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is %T, want *telemetry.ServeError", err)
+	}
+	if se.Addr != busy.Addr().String() {
+		t.Errorf("ServeError.Addr = %q, want %q", se.Addr, busy.Addr().String())
+	}
+	if se.Unwrap() == nil {
+		t.Error("ServeError carries no cause")
+	}
+
+	// A free port succeeds and serves immediately.
+	srv, err := servePprof("127.0.0.1:0", run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Addr() == "" {
+		t.Error("bound server reports no address")
+	}
+}
+
+// startStatusPoll with a non-positive interval is inert — the closer it
+// returns must be safe to call with no endpoint at all.
+func TestStartStatusPollDisabled(t *testing.T) {
+	finish := startStatusPoll("127.0.0.1:1", 0)
+	finish() // must not fatal or block
 }

@@ -196,6 +196,9 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 		retry := opts.Retry.Instrumented(reg)
 		batches := reg.Counter("core.batches")
 		batchesSkipped := reg.Counter("core.batches_skipped")
+		// Live-introspection feeds: the current batch gauge and stage/phase
+		// status keys are what /statusz reports while the loop runs.
+		curBatch := reg.Gauge("core.current_batch")
 		src := opts.Source
 		if opts.FaultInjector != nil {
 			src = fault.Source(opts.Source, opts.FaultInjector, rank)
@@ -247,6 +250,7 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 			}
 			endPhase = reg.Span("phase."+ph, c)
 			phase = ph
+			reg.SetStatus("phase", ph)
 		}
 		defer func() {
 			if endPhase != nil {
@@ -255,7 +259,10 @@ func RunDistributed(opts ClusterOptions) (*ClusterReport, error) {
 		}()
 
 		prev := geometry.RowRange{}
+		reg.SetStatus("stage", "run")
+		defer reg.SetStatus("stage", "done")
 		for c := 0; c < p.BatchCount; c++ {
+			curBatch.Set(int64(c))
 			z0, nz := p.SlabZ(g, c)
 			if nz == 0 {
 				continue // consistent across the whole group

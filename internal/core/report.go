@@ -101,6 +101,12 @@ func (r *ClusterReport) String() string {
 		b.WriteString(" (byte counts undercount real traffic!)")
 	}
 	b.WriteByte('\n')
+	// Critical-path attribution: which rank × stage × class chain actually
+	// bounded the makespan — the "why is it slow" companion to the skew
+	// table's "who is slow".
+	if cp := telemetry.ComputeCriticalPath(r.Telemetry); cp != nil {
+		b.WriteString(cp.RenderTable(6))
+	}
 	if skew := telemetry.AggregateCounters(r.Telemetry); len(skew) > 0 {
 		b.WriteString("counter skew across ranks (min / mean / max):\n")
 		for _, name := range telemetry.SortedCounterNames(r.Telemetry) {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 	"time"
 
@@ -96,17 +97,28 @@ func TestChaosTelemetryReconcile(t *testing.T) {
 	if err := telemetry.WriteChromeTrace(&trace, rep.Telemetry); err != nil {
 		t.Fatal(err)
 	}
-	events, pids, err := telemetry.ValidateChromeTrace(trace.Bytes())
+	sum, err := telemetry.ValidateChromeTrace(trace.Bytes())
 	if err != nil {
 		t.Fatalf("trace artifact invalid: %v", err)
 	}
-	if events == 0 {
+	if sum.Events == 0 {
 		t.Fatal("trace has no events")
 	}
 	for r := 0; r < p.Ranks(); r++ {
-		if !pids[r] {
+		if !sum.Pids[r] {
 			t.Errorf("rank %d has no track in the trace", r)
 		}
+	}
+	// The run moved real messages with telemetry on, so the trace must
+	// carry flow arrows and every one must link a send to its recv.
+	if sum.FlowBegins == 0 {
+		t.Error("trace carries no flow begin events despite mpi traffic")
+	}
+	if sum.FlowEnds == 0 {
+		t.Error("trace carries no flow finish events despite mpi traffic")
+	}
+	if n := sum.Unmatched(); n > 0 {
+		t.Errorf("%d flow begins have no finish", n)
 	}
 	var metrics bytes.Buffer
 	if err := telemetry.WriteMetricsJSON(&metrics, rep.Telemetry); err != nil {
@@ -182,5 +194,136 @@ func TestSingleTelemetry(t *testing.T) {
 	tr := pipeline.TracerFor(reg)
 	if tr.Total() <= 0 {
 		t.Error("tracer sees no wall-clock window")
+	}
+}
+
+// TestCriticalPathAttribution pins the acceptance contract on a real
+// deterministic 4-rank run: the extracted critical path tiles the
+// measured makespan exactly (stronger than the 1% budget), the makespan
+// is the true span window, and the attribution survives the metrics
+// artifact round-trip and the printed report.
+func TestCriticalPathAttribution(t *testing.T) {
+	sys := testSystem()
+	st := sheppStack(t, sys)
+	src := &projection.MemorySource{Full: st}
+	p, err := NewPlan(sys, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := telemetry.NewRun(p.Ranks())
+	sink, _ := NewVolumeSink(sys)
+	rep, err := RunDistributed(ClusterOptions{
+		Plan: p, Source: src, Output: sink, Telemetry: run,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cp := telemetry.ComputeCriticalPath(rep.Telemetry)
+	if cp == nil {
+		t.Fatal("no critical path from a telemetered 4-rank run")
+	}
+	if got := cp.AttributedTotal(); got != cp.Makespan {
+		t.Fatalf("attribution %v != makespan %v (acceptance allows 1%%; construction promises exact)", got, cp.Makespan)
+	}
+	var byClass time.Duration
+	for _, ns := range cp.ByClass {
+		byClass += ns
+	}
+	if byClass != cp.Makespan {
+		t.Fatalf("class sums %v != makespan %v", byClass, cp.Makespan)
+	}
+
+	// The window must be the real one: earliest start / latest end over the
+	// rank stage spans (container markers excluded, shared registry ignored).
+	var lo, hi time.Duration
+	first := true
+	for _, s := range rep.Telemetry {
+		if s.Rank == telemetry.SharedRank {
+			continue
+		}
+		for _, sp := range s.Spans {
+			if strings.HasPrefix(sp.Name, "phase.") || strings.HasPrefix(sp.Name, "supervise.") {
+				continue
+			}
+			if first || sp.Start < lo {
+				lo = sp.Start
+			}
+			if first || sp.End > hi {
+				hi = sp.End
+			}
+			first = false
+		}
+	}
+	if cp.Start != lo || cp.End != hi {
+		t.Errorf("path window [%v,%v], spans cover [%v,%v]", cp.Start, cp.End, lo, hi)
+	}
+	if cp.CommFraction < 0 || cp.CommFraction > 1 || cp.WaitFraction < 0 || cp.WaitFraction > 1 {
+		t.Errorf("fractions out of range: comm %g wait %g", cp.CommFraction, cp.WaitFraction)
+	}
+
+	// Artifact round-trip: the summary rides in distfdk-metrics/1 and the
+	// validator enforces the same exact-sum invariant.
+	var metrics bytes.Buffer
+	if err := telemetry.WriteMetricsJSON(&metrics, rep.Telemetry); err != nil {
+		t.Fatal(err)
+	}
+	mrep, err := telemetry.ValidateMetricsJSON(metrics.Bytes())
+	if err != nil {
+		t.Fatalf("metrics artifact with critical path invalid: %v", err)
+	}
+	if mrep.CriticalPath == nil {
+		t.Fatal("metrics artifact missing the critical_path summary")
+	}
+	if mrep.CriticalPath.MakespanNs != int64(cp.Makespan) {
+		t.Errorf("artifact makespan %d != computed %d", mrep.CriticalPath.MakespanNs, int64(cp.Makespan))
+	}
+	if !strings.Contains(rep.String(), "critical path:") {
+		t.Error("ClusterReport summary missing the critical-path table")
+	}
+}
+
+// Span batch tags must stay correct when the elastic back-projection
+// stage runs concurrent workers: each batch yields exactly one
+// backproject span carrying its own batch index, with no duplicates or
+// cross-talk (run under -race this also proves the span store is safe
+// for concurrent closers).
+func TestSpanBatchTagsConcurrentWorkers(t *testing.T) {
+	sys := testSystem()
+	st := sheppStack(t, sys)
+	src := &projection.MemorySource{Full: st}
+	p, err := NewPlan(sys, 1, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	sink, _ := NewVolumeSink(sys)
+	rep, err := ReconstructSingle(ReconOptions{
+		Plan: p, Source: src, Device: device.New("conc", 0, 2),
+		Sink: sink, BPWorkers: 4, Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Slabs < 2 {
+		t.Fatalf("want a multi-batch run, got %d slabs", rep.Slabs)
+	}
+	seen := map[int]int{}
+	for _, sp := range reg.Snapshot().Spans {
+		if sp.Name != "backproject" {
+			continue
+		}
+		seen[sp.Batch]++
+		if sp.End < sp.Start {
+			t.Errorf("batch %d span inverted [%v,%v]", sp.Batch, sp.Start, sp.End)
+		}
+	}
+	if len(seen) != rep.Slabs {
+		t.Fatalf("backproject spans cover %d batches, want %d (%v)", len(seen), rep.Slabs, seen)
+	}
+	for b := 0; b < rep.Slabs; b++ {
+		if seen[b] != 1 {
+			t.Errorf("batch %d recorded %d backproject spans, want exactly 1", b, seen[b])
+		}
 	}
 }

@@ -13,14 +13,19 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"distfdk/internal/telemetry"
 )
 
-// message is one point-to-point transfer.
+// message is one point-to-point transfer. id is the world-global monotone
+// message id (0 when telemetry is off): the receiver copies it into its
+// flow record, which is what pairs the two sides of a transfer into one
+// causal edge without any extra wire traffic.
 type message struct {
 	tag  int
+	id   int64
 	data any
 }
 
@@ -62,6 +67,10 @@ type Comm struct {
 // point-to-point and collective activity into, resolved once per rank in
 // RunWith so the per-message path never touches the registry's name map.
 type commTelemetry struct {
+	// reg is kept for the operations that need more than a pre-resolved
+	// handle: flow records (variable per-message payload) and the epoch
+	// clock they are stamped on.
+	reg                  *telemetry.Registry
 	sendBytes, recvBytes *telemetry.Counter
 	unknownPayloads      *telemetry.Counter
 	sendNs, recvNs       *telemetry.Histogram
@@ -83,6 +92,7 @@ func newCommTelemetry(reg *telemetry.Registry) *commTelemetry {
 		return nil
 	}
 	return &commTelemetry{
+		reg:             reg,
 		sendBytes:       reg.Counter("mpi.bytes_sent"),
 		recvBytes:       reg.Counter("mpi.bytes_recv"),
 		unknownPayloads: reg.Counter("mpi.unknown_payloads"),
@@ -101,6 +111,15 @@ type group struct {
 	chans [][]chan message // chans[dst][src]
 	stats []*Stats
 	td    *teardown
+
+	// regRanks maps communicator-local rank → world (registry) rank, so
+	// flow records from Split sub-communicators carry world coordinates
+	// and pair up with world-communicator records in one id space.
+	regRanks []int
+	// msgID is the message-id source — the telemetry Run's counter when
+	// the world has telemetry (unique across supervised relaunches), a
+	// private one otherwise. Split descendants share the parent's.
+	msgID *atomic.Int64
 
 	splitMu      sync.Mutex
 	splitPending map[int]*splitGather // keyed by split sequence number
@@ -253,7 +272,12 @@ type splitGather struct {
 const chanBuffer = 8
 
 func newGroup(size int) *group {
-	g := &group{size: size, td: newTeardown(), splitPending: map[int]*splitGather{}, splitSeq: make([]int, size)}
+	g := &group{size: size, td: newTeardown(), splitPending: map[int]*splitGather{},
+		splitSeq: make([]int, size), msgID: new(atomic.Int64)}
+	g.regRanks = make([]int, size)
+	for r := range g.regRanks {
+		g.regRanks[r] = r
+	}
 	g.chans = make([][]chan message, size)
 	g.stats = make([]*Stats, size)
 	for d := 0; d < size; d++ {
@@ -309,6 +333,7 @@ func RunWith(n int, opt Options, fn func(c *Comm) error) error {
 		return fmt.Errorf("mpi: negative deadline %v", opt.Deadline)
 	}
 	g := newGroup(n)
+	g.msgID = opt.Telemetry.MsgIDCounter()
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for r := 0; r < n; r++ {
@@ -403,10 +428,12 @@ func (c *Comm) Send(dst, tag int, data any) error {
 		}
 	}
 	var t0 time.Time
+	var msgID int64
 	if c.tm != nil {
 		t0 = time.Now()
+		msgID = c.group.msgID.Add(1)
 	}
-	m := message{tag: tag, data: data}
+	m := message{tag: tag, id: msgID, data: data}
 	ch := c.group.chans[dst][c.rank]
 	select {
 	case ch <- m: // fast path: buffer has room
@@ -429,6 +456,12 @@ func (c *Comm) Send(dst, tag int, data any) error {
 			t.unknownPayloads.Inc()
 		}
 		t.sendNs.ObserveSince(t0)
+		t.reg.RecordFlow(telemetry.FlowRecord{
+			MsgID: msgID, Kind: telemetry.FlowSend,
+			Src: c.group.regRanks[c.rank], Dst: c.group.regRanks[dst],
+			Tag: tag, Bytes: nb,
+			Start: t.reg.SinceEpoch(t0), End: t.reg.SinceEpoch(time.Now()),
+		})
 	}
 	return nil
 }
@@ -510,6 +543,12 @@ func (c *Comm) Recv(src, tag int) (any, error) {
 			t.unknownPayloads.Inc()
 		}
 		t.recvNs.ObserveSince(t0)
+		t.reg.RecordFlow(telemetry.FlowRecord{
+			MsgID: m.id, Kind: telemetry.FlowRecv,
+			Src: c.group.regRanks[src], Dst: c.group.regRanks[c.rank],
+			Tag: tag, Bytes: nb,
+			Start: t.reg.SinceEpoch(t0), End: t.reg.SinceEpoch(time.Now()),
+		})
 	}
 	return m.data, nil
 }

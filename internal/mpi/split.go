@@ -78,7 +78,11 @@ func buildSplit(parent *group, gather *splitGather) {
 		})
 		sub := newGroup(len(ranks))
 		sub.td = parent.td
+		// Flow records must carry world coordinates and draw from the
+		// world's id space, whatever the communicator depth.
+		sub.msgID = parent.msgID
 		for newRank, parentRank := range ranks {
+			sub.regRanks[newRank] = parent.regRanks[parentRank]
 			gather.result[parentRank] = sub.comm(newRank)
 		}
 		_ = color

@@ -206,3 +206,23 @@ func TestRenderASCII(t *testing.T) {
 		t.Fatalf("empty tracer rendered %q", got)
 	}
 }
+
+// A tracer whose only spans are instantaneous has a zero wall-clock
+// window; utilization and the rendered Gantt must stay finite instead of
+// dividing by the zero total.
+func TestTracerZeroTotalUtilization(t *testing.T) {
+	tr := NewTracer()
+	end := tr.Span("load", 0)
+	end() // closes immediately: Start == End at clock resolution is possible,
+	// so pin the degenerate case explicitly through the telemetry layer too.
+	u := tr.Utilization()
+	for stage, v := range u {
+		if v != v || v < 0 { // NaN check without importing math
+			t.Fatalf("Utilization[%s] = %v", stage, v)
+		}
+	}
+	out := tr.RenderASCII([]string{"load"}, 20)
+	if strings.Contains(out, "NaN") || strings.Contains(out, "%!") {
+		t.Fatalf("render corrupt:\n%s", out)
+	}
+}

@@ -48,10 +48,15 @@ type RunMetrics struct {
 	// Backoff is the total retry backoff slept (ns).
 	Backoff int64 `json:"backoff_ns"`
 	// Faults counts schedule firings (errors and delays).
-	Faults   int64  `json:"faults"`
-	Restarts int64  `json:"restarts"`
-	Lost     int64  `json:"lost_ranks"`
-	Err      string `json:"error,omitempty"`
+	Faults   int64 `json:"faults"`
+	Restarts int64 `json:"restarts"`
+	Lost     int64 `json:"lost_ranks"`
+	// CritCommFraction / CritWaitFraction attribute the replay's critical
+	// path (telemetry.ComputeCriticalPath): the share of its makespan
+	// spent in communication and idle waits.
+	CritCommFraction float64 `json:"critical_path_comm_fraction"`
+	CritWaitFraction float64 `json:"critical_path_wait_fraction"`
+	Err              string  `json:"error,omitempty"`
 }
 
 // world is the reusable part of a scenario replay: the synthetic dataset
@@ -183,6 +188,10 @@ func replay(cfg *Config, w *world, runIdx int, inject, withTelemetry bool) RunMe
 		m.P95ReduceLatency = h.Quantile(0.95)
 	}
 	m.Recovery = recoveryTime(snaps)
+	if cp := telemetry.ComputeCriticalPath(snaps); cp != nil {
+		m.CritCommFraction = cp.CommFraction
+		m.CritWaitFraction = cp.WaitFraction
+	}
 	return m
 }
 
@@ -427,6 +436,8 @@ func aggregate(cfg *Config, res *ScenarioResult) {
 	m["faults_injected"] = med(inj, func(r RunMetrics) float64 { return float64(r.Faults) })
 	m["restarts"] = med(inj, func(r RunMetrics) float64 { return float64(r.Restarts) })
 	m["lost_ranks"] = med(inj, func(r RunMetrics) float64 { return float64(r.Lost) })
+	m["critical_path_comm_fraction"] = med(inj, func(r RunMetrics) float64 { return r.CritCommFraction })
+	m["critical_path_wait_fraction"] = med(inj, func(r RunMetrics) float64 { return r.CritWaitFraction })
 	if len(res.Dark) > 0 {
 		darkWall := RobustMedian(pick(res.Dark, func(r RunMetrics) float64 { return float64(r.Wall) }))
 		baseWall := RobustMedian(pick(base, func(r RunMetrics) float64 { return float64(r.Wall) }))

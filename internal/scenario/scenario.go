@@ -36,9 +36,9 @@ type Config struct {
 	Runs  int         `json:"runs"`
 	World WorldConfig `json:"world"`
 	// Phases cuts the batch axis into warmup/inject/recovery windows.
-	Phases PhaseConfig `json:"phases"`
-	Faults []FaultRule `json:"faults,omitempty"`
-	Kills  []Kill      `json:"kills,omitempty"`
+	Phases PhaseConfig  `json:"phases"`
+	Faults []FaultRule  `json:"faults,omitempty"`
+	Kills  []Kill       `json:"kills,omitempty"`
 	Retry  *RetryConfig `json:"retry,omitempty"`
 	// Supervise enables the shrink-and-resume supervisor; implied by a
 	// non-empty kill schedule.
@@ -73,9 +73,9 @@ type PhaseConfig struct {
 
 // FaultRule is the declarative form of fault.Rule.
 type FaultRule struct {
-	Op    string        `json:"op"`
-	Rank  int           `json:"rank"` // fault.AnyRank for "any"
-	Class string        `json:"class,omitempty"`
+	Op    string `json:"op"`
+	Rank  int    `json:"rank"` // fault.AnyRank for "any"
+	Class string `json:"class,omitempty"`
 	// Nth and Count window the rule over the per-(op, rank) occurrence
 	// sequence — a count with rank "any" fires that many times on EVERY
 	// rank, not in total.
@@ -127,20 +127,22 @@ const (
 // metrics are ratios of the two arms' medians. Duration metrics are in
 // nanoseconds (write gate bounds as durations: "250ms").
 var metricCatalog = map[string]string{
-	"batches_per_sec":          "injected-arm throughput (executed batches per second)",
-	"baseline_batches_per_sec": "fault-free-arm throughput",
-	"throughput_ratio":         "injected ÷ baseline throughput medians",
-	"p50_batch_latency":        "injected-arm median per-batch wall time (ns)",
-	"p95_batch_latency":        "injected-arm p95 per-batch wall time (ns)",
-	"p95_reduce_latency":       "injected-arm p95 reduce-chunk latency (ns)",
-	"recovery_time":            "worst kill→first-post-restart-batch interval (ns)",
-	"retries":                  "total retry re-attempts across ranks",
-	"backoff_total":            "total backoff sleep (ns)",
-	"faults_injected":          "faults (errors and delays) the schedule fired",
-	"restarts":                 "supervised world relaunches",
-	"lost_ranks":               "ranks declared dead across attempts",
-	"overhead_ratio":           "telemetry-on ÷ telemetry-off fault-free wall-time medians",
-	"wall_time":                "injected-arm wall time (ns)",
+	"batches_per_sec":             "injected-arm throughput (executed batches per second)",
+	"baseline_batches_per_sec":    "fault-free-arm throughput",
+	"throughput_ratio":            "injected ÷ baseline throughput medians",
+	"p50_batch_latency":           "injected-arm median per-batch wall time (ns)",
+	"p95_batch_latency":           "injected-arm p95 per-batch wall time (ns)",
+	"p95_reduce_latency":          "injected-arm p95 reduce-chunk latency (ns)",
+	"recovery_time":               "worst kill→first-post-restart-batch interval (ns)",
+	"retries":                     "total retry re-attempts across ranks",
+	"backoff_total":               "total backoff sleep (ns)",
+	"faults_injected":             "faults (errors and delays) the schedule fired",
+	"restarts":                    "supervised world relaunches",
+	"lost_ranks":                  "ranks declared dead across attempts",
+	"overhead_ratio":              "telemetry-on ÷ telemetry-off fault-free wall-time medians",
+	"wall_time":                   "injected-arm wall time (ns)",
+	"critical_path_comm_fraction": "injected-arm share of the critical path spent in communication (reduce + mpi transfers), 0..1",
+	"critical_path_wait_fraction": "injected-arm share of the critical path spent idle (credit waits, blocked peers), 0..1",
 }
 
 // MetricHelp returns the catalog line for a metric name.

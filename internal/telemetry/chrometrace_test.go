@@ -62,32 +62,126 @@ func TestChromeTraceValidates(t *testing.T) {
 	if err := WriteChromeTrace(&buf, goldenSnapshots()); err != nil {
 		t.Fatal(err)
 	}
-	events, pids, err := ValidateChromeTrace(buf.Bytes())
+	sum, err := ValidateChromeTrace(buf.Bytes())
 	if err != nil {
 		t.Fatalf("exporter output fails its own validator: %v", err)
 	}
-	if events != 7 {
-		t.Fatalf("events = %d, want 7", events)
+	if sum.Events != 7 {
+		t.Fatalf("events = %d, want 7", sum.Events)
 	}
 	// Ranks 0 and 1 plus the shared process (pid = len(snaps) = 3).
 	for _, pid := range []int{0, 1, 3} {
-		if !pids[pid] {
-			t.Fatalf("pid %d missing from trace (have %v)", pid, pids)
+		if !sum.Pids[pid] {
+			t.Fatalf("pid %d missing from trace (have %v)", pid, sum.Pids)
 		}
+	}
+	if sum.FlowBegins != 0 || sum.FlowEnds != 0 {
+		t.Fatalf("span-only snapshots produced flow events: %d begins, %d ends",
+			sum.FlowBegins, sum.FlowEnds)
+	}
+}
+
+// flowSnapshots extends the golden span set with one message from rank 0
+// to rank 1 plus an unmatched receive (sender snapshot lost).
+func flowSnapshots() []Snapshot {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	snaps := goldenSnapshots()
+	snaps[0].Flows = []FlowRecord{
+		{MsgID: 1, Kind: FlowSend, Src: 0, Dst: 1, Tag: 7, Bytes: 4096, Start: ms(2), End: ms(3)},
+	}
+	snaps[1].Flows = []FlowRecord{
+		{MsgID: 1, Kind: FlowRecv, Src: 0, Dst: 1, Tag: 7, Bytes: 4096, Start: ms(2), End: ms(4)},
+		{MsgID: 9, Kind: FlowRecv, Src: 2, Dst: 1, Tag: 7, Bytes: 64, Start: ms(5), End: ms(6)},
+	}
+	return snaps
+}
+
+// TestChromeTraceFlows pins the flow-event contract: matched send/recv
+// pairs produce one "s" and one "f" arrow plus their carrier slices, and
+// a recv whose sender was never captured produces a carrier slice but no
+// dangling "f".
+func TestChromeTraceFlows(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, flowSnapshots()); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("flow trace fails validation: %v", err)
+	}
+	// 7 span slices + 3 flow carrier slices.
+	if sum.Events != 10 {
+		t.Errorf("events = %d, want 10", sum.Events)
+	}
+	if sum.FlowBegins != 1 || sum.FlowEnds != 1 {
+		t.Errorf("flow events = %d begins / %d ends, want 1/1", sum.FlowBegins, sum.FlowEnds)
+	}
+	if sum.Unmatched() != 0 {
+		t.Errorf("unmatched = %d, want 0", sum.Unmatched())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"ph":"s"`)) || !bytes.Contains(buf.Bytes(), []byte(`"bp":"e"`)) {
+		t.Error("trace is missing the s/f flow phases")
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"mpi.send"`)) || !bytes.Contains(buf.Bytes(), []byte(`"mpi.recv"`)) {
+		t.Error("trace is missing the flow carrier tracks")
+	}
+}
+
+// An unmatched *send* (receiver died before draining) keeps its "s" event
+// — Unmatched() reports it — and the trace still validates.
+func TestChromeTraceUnmatchedSend(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	snaps := []Snapshot{
+		{Rank: 0,
+			Spans: []Span{{Name: "load", Batch: 0, Start: ms(0), End: ms(2)}},
+			Flows: []FlowRecord{
+				{MsgID: 3, Kind: FlowSend, Src: 0, Dst: 1, Tag: 1, Bytes: 8, Start: ms(1), End: ms(2)},
+			}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, snaps); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("unmatched-send trace fails validation: %v", err)
+	}
+	if sum.FlowBegins != 1 || sum.FlowEnds != 0 || sum.Unmatched() != 1 {
+		t.Errorf("begins/ends/unmatched = %d/%d/%d, want 1/0/1",
+			sum.FlowBegins, sum.FlowEnds, sum.Unmatched())
 	}
 }
 
 func TestValidateChromeTraceRejects(t *testing.T) {
 	cases := map[string]string{
-		"not JSON":        `{"traceEvents":[`,
-		"no events":       `{"traceEvents":[]}`,
-		"bad phase":       `{"traceEvents":[{"ph":"B","ts":0}]}`,
-		"negative dur":    `{"traceEvents":[{"ph":"X","ts":0,"dur":-1}]}`,
-		"unordered stamp": `{"traceEvents":[{"ph":"X","ts":5,"dur":1},{"ph":"X","ts":1,"dur":1}]}`,
+		"not JSON":              `{"traceEvents":[`,
+		"no events":             `{"traceEvents":[]}`,
+		"bad phase":             `{"traceEvents":[{"ph":"B","ts":0}]}`,
+		"negative dur":          `{"traceEvents":[{"ph":"X","ts":0,"dur":-1}]}`,
+		"unordered stamp":       `{"traceEvents":[{"ph":"X","ts":5,"dur":1},{"ph":"X","ts":1,"dur":1}]}`,
+		"flow begin without id": `{"traceEvents":[{"ph":"X","ts":0,"dur":1},{"ph":"s","ts":0}]}`,
+		"duplicate flow begin":  `{"traceEvents":[{"ph":"X","ts":0,"dur":1},{"ph":"s","ts":0,"id":1},{"ph":"s","ts":1,"id":1}]}`,
+		"finish without begin":  `{"traceEvents":[{"ph":"X","ts":0,"dur":1},{"ph":"f","ts":1,"id":2}]}`,
+		"finish before begin":   `{"traceEvents":[{"ph":"X","ts":0,"dur":9},{"ph":"f","ts":1,"id":3},{"ph":"s","ts":2,"id":3}]}`,
+		"duplicate finish":      `{"traceEvents":[{"ph":"s","ts":0,"id":4},{"ph":"f","ts":1,"id":4},{"ph":"f","ts":2,"id":4},{"ph":"X","ts":3,"dur":1}]}`,
 	}
 	for name, raw := range cases {
-		if _, _, err := ValidateChromeTrace([]byte(raw)); err == nil {
+		if _, err := ValidateChromeTrace([]byte(raw)); err == nil {
 			t.Errorf("%s: validator accepted invalid trace", name)
 		}
+	}
+}
+
+// A finish whose same-timestamp begin sorts after it (lower pid first)
+// must still pair — the two-pass validator collects all begins before
+// checking finishes.
+func TestValidateChromeTraceSameStampFinishFirst(t *testing.T) {
+	raw := `{"traceEvents":[{"ph":"X","ts":0,"dur":1,"pid":0},{"ph":"f","ts":5,"id":1,"pid":0},{"ph":"s","ts":5,"id":1,"pid":1}]}`
+	sum, err := ValidateChromeTrace([]byte(raw))
+	if err != nil {
+		t.Fatalf("same-timestamp finish-before-begin rejected: %v", err)
+	}
+	if sum.FlowBegins != 1 || sum.FlowEnds != 1 {
+		t.Errorf("begins/ends = %d/%d, want 1/1", sum.FlowBegins, sum.FlowEnds)
 	}
 }

@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// critSnapshots builds a two-rank DAG with a known critical path:
+//
+//	rank 0: load [0,3) → backproject [3,7.5) ── msg 1 ──┐
+//	rank 1: load [0,2) → backproject [2,6)              ▼
+//	                                 reduce [8,10) ← recv completes at 8.5
+//
+// The globally latest end is rank 1's reduce at 10ms; the recv that
+// completes inside it (send started at 7ms on rank 0) forces a hop, so
+// the path is rank0.load → rank0.backproject → msg → rank1.reduce.
+func critSnapshots() []Snapshot {
+	us := func(n int) time.Duration { return time.Duration(n) * time.Microsecond }
+	return []Snapshot{
+		{Rank: 0,
+			Spans: []Span{
+				{Name: "load", Batch: 0, Start: ms(0), End: ms(3)},
+				{Name: "backproject", Batch: 0, Start: ms(3), End: us(7500)},
+			},
+			Flows: []FlowRecord{
+				{MsgID: 1, Kind: FlowSend, Src: 0, Dst: 1, Tag: 3, Bytes: 1024, Start: ms(7), End: us(7500)},
+			}},
+		{Rank: 1,
+			Spans: []Span{
+				{Name: "load", Batch: 0, Start: ms(0), End: ms(2)},
+				{Name: "backproject", Batch: 0, Start: ms(2), End: ms(6)},
+				{Name: "reduce", Batch: 0, Start: ms(8), End: ms(10)},
+			},
+			Flows: []FlowRecord{
+				{MsgID: 1, Kind: FlowRecv, Src: 0, Dst: 1, Tag: 3, Bytes: 1024, Start: ms(7), End: us(8500)},
+			}},
+	}
+}
+
+func TestCriticalPathCrossRankHop(t *testing.T) {
+	us := func(n int) time.Duration { return time.Duration(n) * time.Microsecond }
+	cp := ComputeCriticalPath(critSnapshots())
+	if cp == nil {
+		t.Fatal("ComputeCriticalPath returned nil for a populated run")
+	}
+	if cp.Makespan != ms(10) || cp.Start != 0 || cp.End != ms(10) {
+		t.Fatalf("window = [%v,%v] makespan %v, want [0,10ms] 10ms", cp.Start, cp.End, cp.Makespan)
+	}
+	if cp.EndRank != 1 {
+		t.Fatalf("EndRank = %d, want 1 (reduce ends last)", cp.EndRank)
+	}
+	// Exact tiling: the attribution must sum to the makespan to the
+	// nanosecond, not "within 1%".
+	if got := cp.AttributedTotal(); got != cp.Makespan {
+		t.Fatalf("AttributedTotal = %v, want exactly makespan %v", got, cp.Makespan)
+	}
+	want := []CritStep{
+		{Rank: 0, Stage: "load", Class: ClassCompute, Batch: 0, Start: 0, End: ms(3)},
+		{Rank: 0, Stage: "backproject", Class: ClassCompute, Batch: 0, Start: ms(3), End: ms(7)},
+		{Rank: 1, Stage: "msg", Class: ClassComm, Batch: -1, Start: ms(7), End: us(8500)},
+		{Rank: 1, Stage: "reduce", Class: ClassComm, Batch: 0, Start: us(8500), End: ms(10)},
+	}
+	if len(cp.Steps) != len(want) {
+		t.Fatalf("got %d steps %+v, want %d", len(cp.Steps), cp.Steps, len(want))
+	}
+	for i, w := range want {
+		if cp.Steps[i] != w {
+			t.Errorf("step %d = %+v, want %+v", i, cp.Steps[i], w)
+		}
+	}
+	if cp.ByClass[ClassCompute] != ms(7) || cp.ByClass[ClassComm] != ms(3) || cp.ByClass[ClassWait] != 0 {
+		t.Errorf("ByClass = %v, want compute 7ms / comm 3ms / wait 0", cp.ByClass)
+	}
+	if cp.CommFraction != 0.3 || cp.WaitFraction != 0 {
+		t.Errorf("fractions = %g comm / %g wait, want 0.3 / 0", cp.CommFraction, cp.WaitFraction)
+	}
+	// Shares are sorted largest-first and cover the same total.
+	var shareSum int64
+	for _, s := range cp.Shares {
+		shareSum += s.Ns
+	}
+	if time.Duration(shareSum) != cp.Makespan {
+		t.Errorf("shares sum to %v, want makespan %v", time.Duration(shareSum), cp.Makespan)
+	}
+	if cp.Shares[0].Ns < cp.Shares[len(cp.Shares)-1].Ns {
+		t.Error("shares not sorted largest-first")
+	}
+	out := cp.RenderTable(4)
+	if !strings.Contains(out, "critical path: makespan") || !strings.Contains(out, "ending on rank 1") {
+		t.Errorf("RenderTable missing header:\n%s", out)
+	}
+}
+
+// Gaps on the end rank's timeline become wait steps, and a backoff span
+// lands in its own class — the tiling still closes exactly.
+func TestCriticalPathGapAndBackoff(t *testing.T) {
+	snaps := []Snapshot{
+		{Rank: 0, Spans: []Span{
+			{Name: "load", Batch: 0, Start: ms(0), End: ms(2)},
+			{Name: "backoff", Batch: 0, Start: ms(2), End: ms(3)},
+			{Name: "store", Batch: 0, Start: ms(5), End: ms(7)},
+		}},
+	}
+	cp := ComputeCriticalPath(snaps)
+	if cp == nil {
+		t.Fatal("nil critical path")
+	}
+	if cp.Makespan != ms(7) || cp.AttributedTotal() != ms(7) {
+		t.Fatalf("makespan %v attributed %v, want 7ms both", cp.Makespan, cp.AttributedTotal())
+	}
+	if cp.ByClass[ClassWait] != ms(2) {
+		t.Errorf("wait = %v, want the 3→5ms gap (2ms)", cp.ByClass[ClassWait])
+	}
+	if cp.ByClass[ClassBackoff] != ms(1) {
+		t.Errorf("backoff = %v, want 1ms", cp.ByClass[ClassBackoff])
+	}
+	if cp.ByClass[ClassCompute] != ms(4) {
+		t.Errorf("compute = %v, want load+store 4ms", cp.ByClass[ClassCompute])
+	}
+}
+
+// Container spans (fault phases, supervisor attempts) overlap the stage
+// spans and must not define the window or absorb the gaps inside them.
+func TestCriticalPathSkipsContainerSpans(t *testing.T) {
+	snaps := []Snapshot{
+		{Rank: 0, Spans: []Span{
+			{Name: "phase.faulty", Batch: -1, Start: ms(0), End: ms(50)},
+			{Name: "supervise.attempt", Batch: 0, Start: ms(0), End: ms(40)},
+			{Name: "backproject", Batch: 0, Start: ms(1), End: ms(4)},
+		}},
+		{Rank: SharedRank, Spans: []Span{
+			{Name: "journal", Batch: 0, Start: ms(0), End: ms(90)},
+		}},
+	}
+	cp := ComputeCriticalPath(snaps)
+	if cp == nil {
+		t.Fatal("nil critical path")
+	}
+	if cp.Start != ms(1) || cp.End != ms(4) {
+		t.Fatalf("window [%v,%v], want the stage span's [1ms,4ms]", cp.Start, cp.End)
+	}
+	for _, st := range cp.Steps {
+		if containerSpan(st.Stage) || st.Stage == "journal" {
+			t.Errorf("container span %q leaked onto the path", st.Stage)
+		}
+	}
+}
+
+// Equal latest ends tie-break to the lowest rank, keeping the walk (and
+// the golden artifacts derived from it) deterministic.
+func TestCriticalPathEndRankTieBreak(t *testing.T) {
+	snaps := []Snapshot{
+		{Rank: 2, Spans: []Span{{Name: "store", Batch: 0, Start: ms(0), End: ms(5)}}},
+		{Rank: 1, Spans: []Span{{Name: "store", Batch: 0, Start: ms(0), End: ms(5)}}},
+	}
+	cp := ComputeCriticalPath(snaps)
+	if cp == nil || cp.EndRank != 1 {
+		t.Fatalf("EndRank = %+v, want tie-break to rank 1", cp)
+	}
+}
+
+func TestCriticalPathDegenerate(t *testing.T) {
+	if cp := ComputeCriticalPath(nil); cp != nil {
+		t.Errorf("nil snapshots → %+v, want nil", cp)
+	}
+	if cp := ComputeCriticalPath([]Snapshot{{Rank: 0}}); cp != nil {
+		t.Errorf("span-free snapshots → %+v, want nil", cp)
+	}
+	// Instantaneous spans give a zero-width window: nothing to attribute.
+	zero := []Snapshot{{Rank: 0, Spans: []Span{{Name: "load", Start: ms(1), End: ms(1)}}}}
+	if cp := ComputeCriticalPath(zero); cp != nil {
+		t.Errorf("zero-width window → %+v, want nil", cp)
+	}
+	// Shared-only snapshots carry no rank work.
+	shared := []Snapshot{{Rank: SharedRank, Spans: []Span{{Name: "journal", Start: 0, End: ms(2)}}}}
+	if cp := ComputeCriticalPath(shared); cp != nil {
+		t.Errorf("shared-only snapshots → %+v, want nil", cp)
+	}
+	var nilCP *CriticalPath
+	if s := nilCP.Summary(); s != nil {
+		t.Errorf("nil Summary = %+v, want nil", s)
+	}
+}
+
+// An unmatched recv (sender snapshot lost) must not hop — the walk stays
+// on the rank and charges the span normally.
+func TestCriticalPathUnmatchedRecvNoHop(t *testing.T) {
+	snaps := []Snapshot{
+		{Rank: 0,
+			Spans: []Span{{Name: "reduce", Batch: 0, Start: ms(0), End: ms(4)}},
+			Flows: []FlowRecord{
+				{MsgID: 7, Kind: FlowRecv, Src: 3, Dst: 0, Tag: 1, Bytes: 8, Start: ms(1), End: ms(2)},
+			}},
+	}
+	cp := ComputeCriticalPath(snaps)
+	if cp == nil {
+		t.Fatal("nil critical path")
+	}
+	if len(cp.Steps) != 1 || cp.Steps[0].Stage != "reduce" {
+		t.Fatalf("steps = %+v, want the single reduce span", cp.Steps)
+	}
+	if cp.AttributedTotal() != cp.Makespan {
+		t.Fatalf("attribution %v != makespan %v", cp.AttributedTotal(), cp.Makespan)
+	}
+}

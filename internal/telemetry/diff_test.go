@@ -72,6 +72,71 @@ func TestSnapshotDiff(t *testing.T) {
 	}
 }
 
+// The degenerate histogram shapes a gate can feed Quantile: a single
+// finite bucket interpolates inside itself, and a distribution living
+// entirely in the overflow bucket reports the last finite bound for every
+// quantile (the documented lower-bound behaviour).
+func TestHistogramQuantileDegenerateShapes(t *testing.T) {
+	single := HistogramSnapshot{Bounds: []int64{10}, Counts: []int64{4, 0}, Count: 4}
+	if q := single.Quantile(0.5); q != 5 {
+		t.Errorf("single-bucket Quantile(0.5) = %g, want 5", q)
+	}
+	if q := single.Quantile(1); q != 10 {
+		t.Errorf("single-bucket Quantile(1) = %g, want the bucket bound 10", q)
+	}
+	if q := single.Quantile(-2); q != 0 {
+		t.Errorf("clamped Quantile(-2) = %g, want 0", q)
+	}
+	allOver := HistogramSnapshot{Bounds: []int64{10, 20}, Counts: []int64{0, 0, 5}, Count: 5}
+	for _, q := range []float64{0.01, 0.5, 0.99, 2} {
+		if got := allOver.Quantile(q); got != 20 {
+			t.Errorf("all-overflow Quantile(%g) = %g, want last bound 20", q, got)
+		}
+	}
+	// Bounds present but no counts slice: defensively zero.
+	if q := (HistogramSnapshot{Bounds: []int64{10}, Count: 3}).Quantile(0.5); q != 0 {
+		t.Errorf("countless histogram Quantile = %g, want 0", q)
+	}
+}
+
+// Diff across mismatched metric sets: metrics only in prev vanish,
+// metrics only in s pass through whole, and a histogram whose bounds
+// changed between snapshots (re-registered run) diffs against zero
+// instead of subtracting incompatible buckets.
+func TestSnapshotDiffMismatchedSets(t *testing.T) {
+	prev := Snapshot{
+		Counters: map[string]int64{"gone": 9},
+		Gauges:   map[string]int64{"stale": 4},
+		Histograms: map[string]HistogramSnapshot{
+			"lat": {Bounds: []int64{100}, Counts: []int64{2, 0}, Sum: 50, Count: 2},
+		},
+	}
+	s := Snapshot{
+		Counters: map[string]int64{"fresh": 3},
+		Histograms: map[string]HistogramSnapshot{
+			"lat": {Bounds: []int64{10, 100}, Counts: []int64{1, 1, 0}, Sum: 60, Count: 2},
+		},
+	}
+	d := s.Diff(prev)
+	if d.Counters["fresh"] != 3 {
+		t.Errorf("counter absent from prev = %d, want whole value 3", d.Counters["fresh"])
+	}
+	if _, ok := d.Counters["gone"]; ok {
+		t.Error("counter only in prev leaked into the diff")
+	}
+	if _, ok := d.Gauges["stale"]; ok {
+		t.Error("gauge only in prev leaked into the diff")
+	}
+	dh := d.Histograms["lat"]
+	if dh.Count != 2 || dh.Sum != 60 || len(dh.Counts) != 3 {
+		t.Errorf("bounds-mismatched histogram diff = %+v, want s unchanged", dh)
+	}
+	// Both sides empty stays empty without allocating maps.
+	if d := (Snapshot{}).Diff(Snapshot{}); d.Counters != nil || d.Histograms != nil {
+		t.Errorf("empty diff allocated maps: %+v", d)
+	}
+}
+
 func TestCounterTotalAndMerge(t *testing.T) {
 	snaps := []Snapshot{
 		{Rank: 0, Counters: map[string]int64{"core.batches": 4},

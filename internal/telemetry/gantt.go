@@ -72,7 +72,7 @@ func RenderGantt(spans []Span, order []string, width int) string {
 		width = 10
 	}
 	st := ComputeSpanStats(spans)
-	if st.Total <= 0 {
+	if len(spans) == 0 {
 		return "(no spans)\n"
 	}
 	nameW := 0
@@ -92,8 +92,14 @@ func RenderGantt(spans []Span, order []string, width int) string {
 			if s.Name != name {
 				continue
 			}
-			lo := int(int64(s.Start-st.First) * int64(width) / int64(st.Total))
-			hi := int(int64(s.End-st.First) * int64(width) / int64(st.Total))
+			// A zero-length window (instantaneous spans only) still renders:
+			// every span collapses to the first column instead of dividing
+			// by the zero total.
+			var lo, hi int
+			if st.Total > 0 {
+				lo = int(int64(s.Start-st.First) * int64(width) / int64(st.Total))
+				hi = int(int64(s.End-st.First) * int64(width) / int64(st.Total))
+			}
 			if hi >= width {
 				hi = width - 1
 			}

@@ -66,3 +66,36 @@ func TestRenderGantt(t *testing.T) {
 		t.Fatal("empty span set must render the placeholder")
 	}
 }
+
+// A span set whose wall-clock window is zero (instantaneous spans only)
+// must render finite rows — the historical failure mode was a division by
+// the zero total producing NaN utilization.
+func TestRenderGanttZeroTotal(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	spans := []Span{
+		{Name: "load", Batch: 3, Start: ms(5), End: ms(5)},
+		{Name: "store", Batch: 4, Start: ms(5), End: ms(5)},
+	}
+	st := ComputeSpanStats(spans)
+	if st.Total != 0 {
+		t.Fatalf("Total = %v, want 0", st.Total)
+	}
+	if u := st.Utilization("load"); u != 0 {
+		t.Fatalf("Utilization = %v, want 0 (not NaN/Inf)", u)
+	}
+	out := RenderGantt(spans, []string{"load", "store"}, 20)
+	if strings.Contains(out, "NaN") || strings.Contains(out, "%!") {
+		t.Fatalf("zero-total render corrupt:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rendered %d lines, want header + 2 rows:\n%s", len(lines), out)
+	}
+	// Each instantaneous span collapses to the first column of its row.
+	if !strings.Contains(lines[1], "|3") || !strings.Contains(lines[2], "|4") {
+		t.Fatalf("spans missing from zero-total rows:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "0% busy") {
+		t.Fatalf("zero-total utilization should render as 0%%:\n%s", out)
+	}
+}

@@ -21,6 +21,41 @@ type MetricsReport struct {
 	// Cluster holds min/max/mean skew per counter across the rank
 	// snapshots (shared snapshots excluded): the straggler diagnosis.
 	Cluster map[string]Skew `json:"cluster,omitempty"`
+	// CriticalPath attributes the makespan along the span DAG's longest
+	// chain (critpath.go); absent when the snapshots carry no spans.
+	CriticalPath *CritPathSummary `json:"critical_path,omitempty"`
+}
+
+// CritPathSummary is the artifact form of a CriticalPath: the class
+// split, the headline fractions the scenario gates consume, and the
+// per-(rank,stage,class) shares.
+type CritPathSummary struct {
+	MakespanNs   int64            `json:"makespan_ns"`
+	ByClassNs    map[string]int64 `json:"by_class_ns"`
+	CommFraction float64          `json:"comm_fraction"`
+	WaitFraction float64          `json:"wait_fraction"`
+	Steps        int              `json:"steps"`
+	Shares       []CritShare      `json:"shares,omitempty"`
+}
+
+// Summary converts the computed path to its artifact form (nil in, nil
+// out).
+func (cp *CriticalPath) Summary() *CritPathSummary {
+	if cp == nil {
+		return nil
+	}
+	byClass := make(map[string]int64, len(cp.ByClass))
+	for c, d := range cp.ByClass {
+		byClass[c] = int64(d)
+	}
+	return &CritPathSummary{
+		MakespanNs:   int64(cp.Makespan),
+		ByClassNs:    byClass,
+		CommFraction: cp.CommFraction,
+		WaitFraction: cp.WaitFraction,
+		Steps:        len(cp.Steps),
+		Shares:       cp.Shares,
+	}
 }
 
 // RankMetrics is one registry's metrics without its spans.
@@ -34,7 +69,8 @@ type RankMetrics struct {
 
 // BuildMetricsReport folds snapshots into the artifact structure.
 func BuildMetricsReport(snaps []Snapshot) *MetricsReport {
-	rep := &MetricsReport{Schema: MetricsSchema, Cluster: AggregateCounters(snaps)}
+	rep := &MetricsReport{Schema: MetricsSchema, Cluster: AggregateCounters(snaps),
+		CriticalPath: ComputeCriticalPath(snaps).Summary()}
 	for _, s := range snaps {
 		rep.Ranks = append(rep.Ranks, RankMetrics{
 			Rank:       s.Rank,
@@ -86,6 +122,24 @@ func ValidateMetricsJSON(data []byte) (*MetricsReport, error) {
 			if len(h.Counts) != len(h.Bounds)+1 {
 				return nil, fmt.Errorf("telemetry: rank %d histogram %q has %d buckets for %d bounds",
 					r.Rank, name, len(h.Counts), len(h.Bounds))
+			}
+		}
+	}
+	if cp := rep.CriticalPath; cp != nil {
+		if cp.MakespanNs <= 0 {
+			return nil, fmt.Errorf("telemetry: critical path has non-positive makespan %d", cp.MakespanNs)
+		}
+		var sum int64
+		for _, ns := range cp.ByClassNs {
+			sum += ns
+		}
+		if sum != cp.MakespanNs {
+			return nil, fmt.Errorf("telemetry: critical path classes sum to %d, makespan is %d",
+				sum, cp.MakespanNs)
+		}
+		for _, f := range []float64{cp.CommFraction, cp.WaitFraction} {
+			if f < 0 || f > 1 {
+				return nil, fmt.Errorf("telemetry: critical path fraction %v out of [0,1]", f)
 			}
 		}
 	}

@@ -141,6 +141,12 @@ type Registry struct {
 
 	spanMu sync.Mutex
 	spans  []Span
+
+	flowMu sync.Mutex
+	flows  []FlowRecord
+
+	statusMu sync.Mutex
+	status   map[string]string
 }
 
 // SharedRank labels the Run's shared registry (storage sinks, journals —
@@ -237,6 +243,39 @@ func (r *Registry) Span(name string, batch int) func() {
 	}
 }
 
+// SetStatus records a live string fact about the registry's owner (the
+// current fault phase, the stage in flight) for the /statusz view.
+// Last-value-wins per key; nil-safe no-op.
+func (r *Registry) SetStatus(key, value string) {
+	if r == nil {
+		return
+	}
+	r.statusMu.Lock()
+	if r.status == nil {
+		r.status = map[string]string{}
+	}
+	r.status[key] = value
+	r.statusMu.Unlock()
+}
+
+// Status returns a copy of the live status map (nil when empty or for a
+// nil registry).
+func (r *Registry) Status() map[string]string {
+	if r == nil {
+		return nil
+	}
+	r.statusMu.Lock()
+	defer r.statusMu.Unlock()
+	if len(r.status) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(r.status))
+	for k, v := range r.status {
+		out[k] = v
+	}
+	return out
+}
+
 // Spans returns a copy of the recorded spans (nil for a nil registry).
 func (r *Registry) Spans() []Span {
 	if r == nil {
@@ -255,6 +294,11 @@ type Run struct {
 	epoch  time.Time
 	ranks  []*Registry
 	shared *Registry
+	// msgID is the run-global monotone message-id source the mpi layer
+	// draws from — owned by the Run (not by one mpi world) so message ids
+	// stay unique across the relaunched worlds of a supervised run and
+	// flow records never collide in the merged trace.
+	msgID atomic.Int64
 }
 
 // NewRun builds registries for nRanks ranks plus the shared registry, all
@@ -274,6 +318,24 @@ func NewRun(nRanks int) *Run {
 	}
 	run.shared = mk(SharedRank)
 	return run
+}
+
+// MsgIDCounter hands out the run's message-id source. A nil Run returns a
+// fresh private counter, so the mpi layer can draw unconditionally.
+func (run *Run) MsgIDCounter() *atomic.Int64 {
+	if run == nil {
+		return new(atomic.Int64)
+	}
+	return &run.msgID
+}
+
+// Elapsed is the time since the run epoch (0 for nil) — the uptime the
+// live status endpoint reports.
+func (run *Run) Elapsed() time.Duration {
+	if run == nil {
+		return 0
+	}
+	return time.Since(run.epoch)
 }
 
 // Ranks returns the number of per-rank registries (0 for nil).
@@ -343,12 +405,15 @@ type Snapshot struct {
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 	Spans      []Span                       `json:"spans,omitempty"`
+	Flows      []FlowRecord                 `json:"flows,omitempty"`
+	Status     map[string]string            `json:"status,omitempty"`
 }
 
 // Empty reports whether the snapshot recorded nothing at all.
 func (s Snapshot) Empty() bool {
 	return len(s.Counters) == 0 && len(s.Gauges) == 0 &&
-		len(s.Histograms) == 0 && len(s.Spans) == 0
+		len(s.Histograms) == 0 && len(s.Spans) == 0 &&
+		len(s.Flows) == 0 && len(s.Status) == 0
 }
 
 // Snapshot captures the registry's current state. Nil registries snapshot
@@ -386,6 +451,8 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.Unlock()
 	s.Spans = r.Spans()
+	s.Flows = r.Flows()
+	s.Status = r.Status()
 	return s
 }
 

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check chaos chaos-recover trace-smoke status-smoke slo-gate bench bench-smoke bench-json bench-exec experiments examples clean
+.PHONY: all build test race check chaos chaos-recover trace-smoke status-smoke transport-smoke slo-gate bench bench-smoke bench-json bench-exec experiments examples clean
 
 all: build test
 
@@ -28,6 +28,7 @@ check:
 	$(MAKE) trace-smoke
 	$(MAKE) status-smoke
 	$(MAKE) chaos-recover
+	$(MAKE) transport-smoke
 
 # Telemetry artifact gate: a tiny distributed reconstruction with tracing
 # and metrics on, then the artifact validators. Catches any drift in the
@@ -92,6 +93,36 @@ chaos-recover:
 		-check-trace artifacts/recover_trace.json \
 		-check-metrics artifacts/recover_metrics.json
 	rm -f artifacts/recover_drill.fbk
+
+# Real-transport gate: the same reconstruction twice — once in-process,
+# once as a 4-process loopback TCP world (coordinator + 3 re-exec'd
+# workers over internal/mpi/nettrans) with a wire sever at rank 1's 2nd
+# frame and a rank-1 kill at batch 1. The sever must be absorbed by the
+# link's reconnect + replay (fdkrecon itself asserts transport.reconnects
+# >= 1 when -sever is given), the kill must shrink-and-resume through the
+# journal across OS processes, and the recovered volume must be
+# byte-identical to the fault-free in-process one. The metrics artifact
+# (with the transport.* counters under the shared rank) is validated and
+# kept in artifacts/ for CI to upload. The binary is built once — the
+# workers are the coordinator re-exec'd, so `go run`'s temp binary works
+# too, but an explicit build keeps the spawn path obvious.
+transport-smoke:
+	mkdir -p artifacts
+	rm -f artifacts/transport_ref.fbk artifacts/transport_world.fbk \
+		artifacts/transport_ref.journal artifacts/transport_world.journal
+	$(GO) build -o artifacts/fdkrecon.bin ./cmd/fdkrecon
+	artifacts/fdkrecon.bin -div 16 -n 32 -batches 4 -groups 2 -ranks 2 \
+		-journal artifacts/transport_ref.journal \
+		-o artifacts/transport_ref.fbk
+	artifacts/fdkrecon.bin -div 16 -n 32 -batches 4 -groups 2 -ranks 2 \
+		-world 4 -sever 1@2 -kill 1@1 \
+		-journal artifacts/transport_world.journal \
+		-max-restarts 2 -restart-backoff 50ms \
+		-metrics-json artifacts/transport_metrics.json \
+		-o artifacts/transport_world.fbk
+	$(GO) run ./cmd/fdkbench -check-metrics artifacts/transport_metrics.json
+	cmp artifacts/transport_ref.fbk artifacts/transport_world.fbk
+	rm -f artifacts/fdkrecon.bin artifacts/transport_ref.fbk artifacts/transport_world.fbk
 
 # Robustness release wall: replay every scenario under scenarios/ (paired
 # fault-free vs injected arms, robust medians, SLO gates) and fail the

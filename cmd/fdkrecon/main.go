@@ -7,7 +7,10 @@
 //	fdkrecon -in projections.fbp -dataset tomo_00030 -div 8 -n 64 -o vol.fbk
 //
 // Multi-rank mode (-groups/-ranks) runs the grouped decomposition with the
-// segmented reduction in-process.
+// segmented reduction in-process. Adding -world N spreads the same world
+// over N OS processes wired through loopback sockets (see world.go):
+//
+//	fdkrecon -div 16 -n 32 -groups 2 -ranks 2 -world 4 -journal vol.journal -o vol.fbk
 package main
 
 import (
@@ -18,7 +21,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"runtime"
-	"strings"
+	"strconv"
 	"sync"
 	"time"
 
@@ -27,7 +30,6 @@ import (
 	"distfdk/internal/dataset"
 	"distfdk/internal/device"
 	"distfdk/internal/experiments"
-	"distfdk/internal/fault"
 	"distfdk/internal/filter"
 	"distfdk/internal/geometry"
 	"distfdk/internal/iterative"
@@ -73,8 +75,21 @@ func main() {
 		kernelFl   = flag.String("kernels", "recurrence", "back-projection arithmetic: recurrence, exact (the PR-1 escape hatch) or simd (AVX2; silently falls back to recurrence elsewhere)")
 		layoutFl   = flag.String("ring-layout", "interleaved", "projection ring layout: interleaved or proj-major")
 		fusionFl   = flag.String("fusion", "auto", "filter-into-ring fusion: auto, on, off")
+		worldN     = flag.Int("world", 0, "spread the multi-rank run over this many OS processes wired through loopback sockets (this process becomes the coordinator and spawns the workers)")
+		transport  = flag.String("transport", "tcp", "socket transport of -world mode: tcp or unix")
+		severSpec  = flag.String("sever", "", "chaos: comma-separated rank@nth wire severs, e.g. 1@2 cuts the connection carrying rank 1's 2nd outgoing frame (-world mode; the link must reconnect and replay)")
+		workerFl   = flag.Bool("worker", false, "internal: run as a spawned worker process of a -world coordinator")
+		procFl     = flag.Int("proc", 0, "internal: this worker's process id (with -worker)")
+		procsFl    = flag.Int("procs", 0, "internal: total process count (with -worker)")
+		connectFl  = flag.String("connect", "", "internal: the coordinator's socket address (with -worker)")
 	)
 	flag.Parse()
+
+	nf := netFlags{world: *worldN, worker: *workerFl, proc: *procFl,
+		procs: *procsFl, transport: *transport, connect: *connectFl}
+	if err := nf.validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	if err := validateRunFlags(*restarts, *backoff, *deadline); err != nil {
 		log.Fatal(err)
@@ -178,10 +193,17 @@ func main() {
 	if *journal != "" && plan.Ranks() == 1 {
 		log.Fatal("-journal requires multi-rank mode (-groups/-ranks > 1); a single-rank run writes its volume directly")
 	}
+	if nf.active() && plan.Ranks() == 1 {
+		log.Fatal("-world/-worker require multi-rank mode (-groups/-ranks > 1)")
+	}
+	if *severSpec != "" && !nf.active() {
+		log.Fatal("-sever injects wire faults; it needs -world/-worker (the channel world has no wire)")
+	}
 	// Durable mode streams slabs to disk through a SlabWriter instead of
 	// assembling them in memory, so the sink is only built without -journal.
+	// Worker processes never assemble a volume at all.
 	var sink *core.VolumeSink
-	if *journal == "" {
+	if *journal == "" && !nf.worker {
 		sink, err = core.NewVolumeSink(sys)
 		if err != nil {
 			log.Fatal(err)
@@ -238,12 +260,50 @@ func main() {
 			Telemetry:      run, CollectiveDeadline: *deadline,
 			Kernel: kern, RingLayout: layout, Fusion: fusion,
 		}
-		if *kills != "" {
-			inj, err := buildKillInjector(*kills)
+		inj, err := buildChaosInjector(*kills, *severSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		copts.FaultInjector = inj
+
+		var sw *socketWorld
+		if nf.active() {
+			if copts.CollectiveDeadline == 0 {
+				copts.CollectiveDeadline = defaultNetDeadline
+			}
+			// The reconstruction flags a worker must agree on, forwarded
+			// verbatim; the resolved deadline keeps both sides' bounds equal.
+			forward := []string{
+				"-dataset", *dsName, "-div", strconv.Itoa(*div), "-n", strconv.Itoa(*outN),
+				"-groups", strconv.Itoa(*groups), "-ranks", strconv.Itoa(*ranks),
+				"-batches", strconv.Itoa(*batches),
+				"-window", *window, "-kernels", *kernelFl,
+				"-ring-layout", *layoutFl, "-fusion", *fusionFl,
+				"-devmem", strconv.FormatInt(*memMB, 10),
+				"-workers", strconv.Itoa(*workers),
+				"-deadline", copts.CollectiveDeadline.String(),
+			}
+			if *journal != "" {
+				forward = append(forward, "-journal", *journal,
+					"-max-restarts", strconv.Itoa(*restarts),
+					"-restart-backoff", backoff.String())
+			}
+			if *kills != "" {
+				forward = append(forward, "-kill", *kills)
+			}
+			if *severSpec != "" {
+				forward = append(forward, "-sever", *severSpec)
+			}
+			sw, err = startSocketWorld(nf, inj, run, forward)
 			if err != nil {
 				log.Fatal(err)
 			}
-			copts.FaultInjector = inj
+			copts.Launch = sw.node.Launcher(plan.NRanksPerGroup)
+		}
+		if nf.worker {
+			runFollower(copts, *journal, restartBudget(*restarts), *backoff)
+			sw.close()
+			return
 		}
 
 		if *journal != "" {
@@ -255,6 +315,11 @@ func main() {
 				traceOut: *traceOut,
 				metrics:  *metrics,
 			})
+			if sw != nil {
+				// Workers follow the same supervision decisions; all of them
+				// must land on the same recovered world and exit cleanly.
+				sw.finish(*severSpec != "")
+			}
 			finishPoll()
 			// The SlabWriter already promoted the volume; voxels are only
 			// loaded back when the post-run views need them.
@@ -285,7 +350,13 @@ func main() {
 			writeTelemetry(*traceOut, *metrics, rep.Telemetry)
 		}
 		if err != nil {
+			if sw != nil {
+				sw.kill()
+			}
 			log.Fatal(err)
+		}
+		if sw != nil {
+			sw.finish(*severSpec != "")
 		}
 		finishPoll()
 		fmt.Printf("reconstructed on %d ranks (%d groups × %d) in %v; reduce traffic %.1f MiB\n",
@@ -379,24 +450,6 @@ func runSupervised(copts core.ClusterOptions, sys *geometry.System, run *telemet
 	}
 	os.Remove(cfg.journal)
 	fmt.Printf("volume %dx%dx%d written to %s\n", sys.NX, sys.NY, sys.NZ, cfg.outPath)
-}
-
-// buildKillInjector parses a "rank@batch,rank@batch" chaos schedule into an
-// injector armed with one-shot rank kills.
-func buildKillInjector(spec string) (*fault.Injector, error) {
-	in := fault.NewInjector(1)
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		var rank, batch int
-		if _, err := fmt.Sscanf(part, "%d@%d", &rank, &batch); err != nil || fmt.Sprintf("%d@%d", rank, batch) != part {
-			return nil, fmt.Errorf("bad -kill entry %q (want rank@batch, e.g. 1@1)", part)
-		}
-		in.ScheduleKill(rank, batch)
-	}
-	return in, nil
 }
 
 // printGeometry prints the dataset's descriptive line when its name is

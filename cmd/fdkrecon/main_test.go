@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"distfdk/internal/core"
+	"distfdk/internal/fault"
 	"distfdk/internal/telemetry"
 )
 
@@ -60,8 +61,8 @@ func TestRestartBudgetTranslation(t *testing.T) {
 	}
 }
 
-func TestBuildKillInjector(t *testing.T) {
-	in, err := buildKillInjector("1@1, 2@0")
+func TestBuildChaosInjector(t *testing.T) {
+	in, err := buildChaosInjector("1@1, 2@0", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,9 +70,61 @@ func TestBuildKillInjector(t *testing.T) {
 		t.Errorf("pending kills = %d, want 2", in.PendingKills())
 	}
 	for _, bad := range []string{"1", "a@b", "1@", "@1", "1@1@1", "1@-2x"} {
-		if _, err := buildKillInjector(bad); err == nil {
+		if _, err := buildChaosInjector(bad, ""); err == nil {
 			t.Errorf("accepted bad kill spec %q", bad)
 		}
+		if _, err := buildChaosInjector("", bad); err == nil {
+			t.Errorf("accepted bad sever spec %q", bad)
+		}
+	}
+	// Both specs empty: nil injector, keeping the fault-free fast path.
+	if in, err := buildChaosInjector("", ""); err != nil || in != nil {
+		t.Errorf("empty specs = (%v, %v), want (nil, nil)", in, err)
+	}
+	// A sever spec compiles into a wire rule that fires at its nth
+	// occurrence for the named rank only.
+	in, err = buildChaosInjector("", "1@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Hit(fault.OpSever, 1) != nil {
+		t.Error("sever fired on the first occurrence")
+	}
+	if in.Hit(fault.OpSever, 1) == nil {
+		t.Error("sever did not fire on the second occurrence")
+	}
+	if in.Hit(fault.OpSever, 2) != nil {
+		t.Error("sever fired for a foreign rank")
+	}
+}
+
+// TestNetFlagsValidate pins the multi-process flag contract.
+func TestNetFlagsValidate(t *testing.T) {
+	ok := []netFlags{
+		{},
+		{world: 4, transport: "tcp"},
+		{world: 2, transport: "unix"},
+		{worker: true, proc: 1, procs: 4, transport: "tcp", connect: "127.0.0.1:9"},
+	}
+	for _, nf := range ok {
+		if err := nf.validate(); err != nil {
+			t.Errorf("%+v rejected: %v", nf, err)
+		}
+	}
+	bad := []netFlags{
+		{world: 4, worker: true, proc: 1, procs: 4, transport: "tcp", connect: "x"},
+		{world: 4, transport: "carrier-pigeon"},
+		{worker: true, transport: "tcp"},                            // no connect/proc/procs
+		{worker: true, proc: 0, procs: 4, transport: "tcp", connect: "x"}, // proc 0 is the coordinator
+		{worker: true, proc: 4, procs: 4, transport: "tcp", connect: "x"}, // proc out of range
+	}
+	for _, nf := range bad {
+		if err := nf.validate(); err == nil {
+			t.Errorf("%+v accepted", nf)
+		}
+	}
+	if (netFlags{}).active() || !(netFlags{world: 2}).active() || !(netFlags{worker: true}).active() {
+		t.Error("active() disagrees with the flag semantics")
 	}
 }
 

@@ -45,6 +45,15 @@ func (s *VolumeSink) WriteSlab(slab *volume.Volume) error {
 	return s.V.CopySlabFrom(slab)
 }
 
+// DiscardSink is a SlabSink that drops every slab. Follower processes of
+// a multi-process world use it: group leaders — the only ranks that store
+// — are pinned to the coordinator process, so a follower's sink is never
+// written, but ClusterOptions still requires one.
+type DiscardSink struct{}
+
+// WriteSlab implements SlabSink by discarding the slab.
+func (DiscardSink) WriteSlab(*volume.Volume) error { return nil }
+
 // NewFilter builds the FDK row filter for a system, folding the angular
 // quadrature into the filter gain so back-projection output is in density
 // units without post-scaling: Δβ/2 for a full scan (each ray measured

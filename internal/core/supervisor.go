@@ -8,6 +8,7 @@ import (
 
 	"distfdk/internal/fault"
 	"distfdk/internal/mpi"
+	"distfdk/internal/telemetry"
 )
 
 // This file is the ULFM-style recovery driver of the framework: where
@@ -142,6 +143,14 @@ type SuperviseOptions struct {
 	// restart up to MaxRestartBackoff. Zeros mean the defaults.
 	RestartBackoff    time.Duration
 	MaxRestartBackoff time.Duration
+	// Follower marks this supervisor as a non-coordinator process of a
+	// multi-process world (Cluster.Launch set). Followers make the same
+	// attempt/shrink decisions — the transport's verdict protocol hands
+	// every process identical loss attributions — but skip the shared-
+	// registry supervise telemetry (counters, gauges, attempt spans), so
+	// a fleet sharing one registry records each restart exactly once, by
+	// the coordinator.
+	Follower bool
 }
 
 // SuperviseAttempt records one world launch under Supervise.
@@ -305,7 +314,10 @@ func Supervise(opts SuperviseOptions) (*SuperviseReport, error) {
 	if backoffCap <= 0 {
 		backoffCap = DefaultRestartBackoffCap
 	}
-	shared := c.Telemetry.Shared()
+	var shared *telemetry.Registry
+	if !opts.Follower {
+		shared = c.Telemetry.Shared()
+	}
 	restarts := shared.Counter("supervise.restarts")
 	lostGauge := shared.Gauge("supervise.lost_ranks")
 	worldGauge := shared.Gauge("supervise.world_ranks")

@@ -49,6 +49,18 @@ const (
 	OpSend  = "send"  // mpi point-to-point send
 	OpRecv  = "recv"  // mpi point-to-point receive
 	OpKill  = "kill"  // scheduled rank death at a batch boundary (BatchStart)
+
+	// Wire-level injection points, checked by the socket transport
+	// (internal/mpi/nettrans) once per outgoing data frame, keyed by the
+	// sending world rank. They act below the frame codec, so recovery runs
+	// through the link's real reliability machinery (CRC, sequence gaps,
+	// reconnect and replay) instead of an in-process shortcut. The rule's
+	// Delay field applies to OpFrameDelay; the others ignore Class/Delay.
+	OpFrameDrop    = "frame-drop"    // frame never written to the socket
+	OpFrameCorrupt = "frame-corrupt" // frame bytes flipped after encode (CRC fails at peer)
+	OpFrameDup     = "frame-dup"     // frame written twice (peer dedups by seq)
+	OpFrameDelay   = "frame-delay"   // frame write stalled by Delay
+	OpSever        = "sever"         // connection closed before the write (reconnect + replay)
 )
 
 // AnyRank in a Rule matches every rank.

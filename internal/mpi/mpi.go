@@ -112,6 +112,16 @@ type group struct {
 	stats []*Stats
 	td    *teardown
 
+	// tr, when non-nil, carries every point-to-point message instead of
+	// the channel matrix — the group belongs to a transport-backed world
+	// (RunTransport) whose ranks may live in different OS processes. The
+	// default in-process world leaves it nil and keeps the channel fast
+	// path untouched.
+	tr Transport
+	// commID identifies this communicator on the transport wire (0 is the
+	// world; Split descendants derive deterministic non-zero ids).
+	commID int32
+
 	// regRanks maps communicator-local rank → world (registry) rank, so
 	// flow records from Split sub-communicators carry world coordinates
 	// and pair up with world-communicator records in one id space.
@@ -433,13 +443,21 @@ func (c *Comm) Send(dst, tag int, data any) error {
 		t0 = time.Now()
 		msgID = c.group.msgID.Add(1)
 	}
-	m := message{tag: tag, id: msgID, data: data}
-	ch := c.group.chans[dst][c.rank]
-	select {
-	case ch <- m: // fast path: buffer has room
-	default:
-		if err := c.sendSlow(ch, m, dst); err != nil {
-			return err
+	if g := c.group; g.tr != nil {
+		err := g.tr.Send(g.commID, g.regRanks[c.rank], g.regRanks[dst],
+			Message{Tag: tag, ID: msgID, Data: data}, c.deadline, g.td.ch)
+		if err != nil {
+			return c.wrapTransportErr(err, dst, "send")
+		}
+	} else {
+		m := message{tag: tag, id: msgID, data: data}
+		ch := c.group.chans[dst][c.rank]
+		select {
+		case ch <- m: // fast path: buffer has room
+		default:
+			if err := c.sendSlow(ch, m, dst); err != nil {
+				return err
+			}
 		}
 	}
 	nb, known := payloadBytes(data)
@@ -518,14 +536,22 @@ func (c *Comm) Recv(src, tag int) (any, error) {
 	if c.tm != nil {
 		t0 = time.Now()
 	}
-	ch := c.group.chans[c.rank][src]
 	var m message
-	select {
-	case m = <-ch: // fast path: message already buffered
-	default:
-		var err error
-		if m, err = c.recvSlow(ch, src); err != nil {
-			return nil, err
+	if g := c.group; g.tr != nil {
+		tm, err := g.tr.Recv(g.commID, g.regRanks[src], g.regRanks[c.rank], c.deadline, g.td.ch)
+		if err != nil {
+			return nil, c.wrapTransportErr(err, src, "recv")
+		}
+		m = message{tag: tm.Tag, id: tm.ID, data: tm.Data}
+	} else {
+		ch := c.group.chans[c.rank][src]
+		select {
+		case m = <-ch: // fast path: message already buffered
+		default:
+			var err error
+			if m, err = c.recvSlow(ch, src); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if m.tag != tag {
@@ -601,6 +627,9 @@ const (
 	tagBcast   = -2
 	tagReduce  = -3
 	tagGather  = -4
+	// tagSplit carries the wire-based Split collective on transport-backed
+	// worlds, where ranks cannot meet in a shared in-memory map.
+	tagSplit = -5
 )
 
 // Barrier blocks until every rank of the communicator has entered it

@@ -1,0 +1,238 @@
+package nettrans
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func crc32ChecksumIEEE(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+func putU32(b []byte, v uint32)         { binary.LittleEndian.PutUint32(b, v) }
+
+func sampleFrame() *frame {
+	payload, err := encodePayload(nil, []float32{1.5, -2.25, float32(math.Pi)})
+	if err != nil {
+		panic(err)
+	}
+	return &frame{kind: kindData, comm: 7, src: 3, dst: 1, tag: -3,
+		msgID: 123456789, seq: 42, ack: 17, payload: payload}
+}
+
+func mustRead(t *testing.T, b []byte) *frame {
+	t.Helper()
+	f, err := readFrame(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	return f
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	want := sampleFrame()
+	got := mustRead(t, encodeFrame(want))
+	if got.kind != want.kind || got.comm != want.comm || got.src != want.src ||
+		got.dst != want.dst || got.tag != want.tag || got.msgID != want.msgID ||
+		got.seq != want.seq || got.ack != want.ack || !bytes.Equal(got.payload, want.payload) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestFrameTornTailEveryOffset cuts an encoded frame at every byte offset
+// and requires a typed truncation error — io.EOF only for the clean
+// zero-byte cut, io.ErrUnexpectedEOF for every torn tail — never a
+// mis-decoded frame.
+func TestFrameTornTailEveryOffset(t *testing.T) {
+	enc := encodeFrame(sampleFrame())
+	for cut := 0; cut < len(enc); cut++ {
+		_, err := readFrame(bytes.NewReader(enc[:cut]))
+		switch {
+		case cut == 0:
+			if err != io.EOF {
+				t.Fatalf("cut 0: want io.EOF, got %v", err)
+			}
+		case cut < 4:
+			if err != io.ErrUnexpectedEOF {
+				t.Fatalf("cut %d (inside length prefix): want ErrUnexpectedEOF, got %v", cut, err)
+			}
+		default:
+			if err != io.ErrUnexpectedEOF {
+				t.Fatalf("cut %d: want ErrUnexpectedEOF, got %v", cut, err)
+			}
+		}
+	}
+	// The full frame still parses after all that slicing.
+	mustRead(t, enc)
+}
+
+// TestFrameCRCCorruption flips one bit at every body and CRC position and
+// requires errCRC (corruption must never surface as valid data). The
+// length prefix is excluded: corrupting it yields a size/truncation error
+// instead, checked separately.
+func TestFrameCRCCorruption(t *testing.T) {
+	enc := encodeFrame(sampleFrame())
+	for pos := 4; pos < len(enc); pos++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), enc...)
+			mut[pos] ^= 1 << bit
+			if _, err := readFrame(bytes.NewReader(mut)); !errors.Is(err, errCRC) {
+				t.Fatalf("pos %d bit %d: want errCRC, got %v", pos, bit, err)
+			}
+		}
+	}
+	// A corrupted length prefix must fail typed too — oversize, truncated
+	// header, torn tail or CRC mismatch — never decode.
+	for bit := 0; bit < 32; bit++ {
+		mut := append([]byte(nil), enc...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		if _, err := readFrame(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("length bit %d: corrupted prefix decoded", bit)
+		}
+	}
+}
+
+// TestFrameStreamDuplicateAndReorder decodes a byte stream containing
+// duplicated and reordered frames: the codec itself must hand each frame
+// up intact and in stream order — sequence-number bookkeeping above it is
+// what detects the anomaly (covered by the link tests).
+func TestFrameStreamDuplicateAndReorder(t *testing.T) {
+	f1, f2 := sampleFrame(), sampleFrame()
+	f2.seq, f2.msgID = 43, 987
+	var stream []byte
+	for _, f := range []*frame{f2, f1, f1} { // reordered + duplicated
+		stream = appendFrame(stream, f)
+	}
+	r := bytes.NewReader(stream)
+	var seqs []uint64
+	for {
+		f, err := readFrame(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("readFrame: %v", err)
+		}
+		seqs = append(seqs, f.seq)
+	}
+	if !reflect.DeepEqual(seqs, []uint64{43, 42, 42}) {
+		t.Fatalf("stream seqs = %v, want [43 42 42]", seqs)
+	}
+}
+
+func TestFrameRejectsOversizeAndBadVersion(t *testing.T) {
+	// Oversize declared length.
+	var big [8]byte
+	big[0], big[1], big[2], big[3] = 0xff, 0xff, 0xff, 0xff
+	if _, err := readFrame(bytes.NewReader(big[:])); !errors.Is(err, errTooLarge) {
+		t.Fatalf("want errTooLarge, got %v", err)
+	}
+	// Undersized body (shorter than the fixed header).
+	small := []byte{5, 0, 0, 0, 1, 2, 3, 4, 5, 0, 0, 0, 0}
+	if _, err := readFrame(bytes.NewReader(small)); !errors.Is(err, errBadHeader) {
+		t.Fatalf("want errBadHeader, got %v", err)
+	}
+	// Valid CRC but unknown version.
+	enc := encodeFrame(sampleFrame())
+	enc[4] = 99 // version byte
+	// Recompute CRC so only the version check can object.
+	body := enc[4 : len(enc)-4]
+	crc := crc32ChecksumIEEE(body)
+	putU32(enc[len(enc)-4:], crc)
+	if _, err := readFrame(bytes.NewReader(enc)); !errors.Is(err, errVersion) {
+		t.Fatalf("want errVersion, got %v", err)
+	}
+}
+
+// TestPayloadRoundTrip checks every payload type the mpi layer can carry
+// survives the wire bit-exactly.
+func TestPayloadRoundTrip(t *testing.T) {
+	cases := []any{
+		nil,
+		[]float32{},
+		[]float32{0, -0, 1.25, float32(math.NaN()), float32(math.Inf(1)), math.SmallestNonzeroFloat32},
+		[][]float32{{1, 2}, {}, {3}},
+		[]float64{math.Pi, -0.0, math.Inf(-1)},
+		[]byte{0, 1, 255},
+		[]int{-5, 0, 1 << 40},
+		int(-7), int32(9), int64(-1 << 50),
+		float32(2.5), float64(-3.75),
+		true, false,
+		"", "hello wire",
+	}
+	for _, in := range cases {
+		enc, err := encodePayload(nil, in)
+		if err != nil {
+			t.Fatalf("encode %T: %v", in, err)
+		}
+		out, err := decodePayload(enc)
+		if err != nil {
+			t.Fatalf("decode %T: %v", in, err)
+		}
+		if !payloadEqual(in, out) {
+			t.Fatalf("round trip %T: got %#v want %#v", in, out, in)
+		}
+	}
+	// Unknown type must fail loudly.
+	if _, err := encodePayload(nil, struct{}{}); err == nil {
+		t.Fatal("encoding unknown type succeeded")
+	}
+	// Truncated payloads fail typed, never panic.
+	enc, _ := encodePayload(nil, []float32{1, 2, 3})
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := decodePayload(enc[:cut]); err == nil && cut < len(enc) {
+			t.Fatalf("truncated payload at %d decoded", cut)
+		}
+	}
+	// A corrupted element count must not drive a huge allocation.
+	enc, _ = encodePayload(nil, []float32{1})
+	putU32(enc[1:], 1<<31-1)
+	if _, err := decodePayload(enc); err == nil {
+		t.Fatal("oversized element count decoded")
+	}
+}
+
+// payloadEqual compares payloads with NaN-safe float equality (bit
+// patterns, which is the wire contract).
+func payloadEqual(a, b any) bool {
+	switch av := a.(type) {
+	case []float32:
+		bv, ok := b.([]float32)
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if math.Float32bits(av[i]) != math.Float32bits(bv[i]) {
+				return false
+			}
+		}
+		return true
+	case [][]float32:
+		bv, ok := b.([][]float32)
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if !payloadEqual(av[i], bv[i]) {
+				return false
+			}
+		}
+		return true
+	case []float64:
+		bv, ok := b.([]float64)
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if math.Float64bits(av[i]) != math.Float64bits(bv[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}

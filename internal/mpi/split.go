@@ -13,6 +13,9 @@ import (
 // number, so repeated splits are safe.
 func (c *Comm) Split(color, key int) (*Comm, error) {
 	g := c.group
+	if g.tr != nil {
+		return c.splitWire(color, key)
+	}
 
 	g.splitMu.Lock()
 	seq := g.splitSeq[c.rank]
@@ -87,4 +90,124 @@ func buildSplit(parent *group, gather *splitGather) {
 		}
 		_ = color
 	}
+}
+
+// splitWire is the Split collective for transport-backed worlds, where
+// ranks may live in different OS processes and cannot meet in a shared
+// map. Rank 0 of the parent communicator gathers every rank's (color,
+// key), computes the identical partition buildSplit would, and replies
+// with each member's new coordinates; the resulting sub-communicator
+// shares the parent's transport, teardown and message-id space, so its
+// traffic carries world coordinates exactly like an in-process split.
+func (c *Comm) splitWire(color, key int) (*Comm, error) {
+	g := c.group
+	g.splitMu.Lock()
+	seq := g.splitSeq[c.rank]
+	g.splitSeq[c.rank]++
+	g.splitMu.Unlock()
+
+	var id int32
+	var newRank int
+	var worldRanks []int
+	if c.rank != 0 {
+		if err := c.Send(0, tagSplit, []int{seq, color, key}); err != nil {
+			return nil, err
+		}
+		data, err := c.Recv(0, tagSplit)
+		if err != nil {
+			return nil, err
+		}
+		v, ok := data.([]int)
+		if !ok || len(v) < 3 {
+			return nil, fmt.Errorf("mpi: rank %d: malformed split reply %T", c.rank, data)
+		}
+		id, newRank, worldRanks = int32(v[0]), v[1], v[2:]
+	} else {
+		entries := map[int][2]int{0: {color, key}}
+		for src := 1; src < c.size; src++ {
+			data, err := c.Recv(src, tagSplit)
+			if err != nil {
+				return nil, err
+			}
+			v, ok := data.([]int)
+			if !ok || len(v) != 3 {
+				return nil, fmt.Errorf("mpi: split gather from rank %d malformed: %T", src, data)
+			}
+			if v[0] != seq {
+				return nil, fmt.Errorf("mpi: split sequence mismatch: rank 0 at %d, rank %d at %d", seq, src, v[0])
+			}
+			entries[src] = [2]int{v[1], v[2]}
+		}
+		byColor := map[int][]int{}
+		for rank, ck := range entries {
+			byColor[ck[0]] = append(byColor[ck[0]], rank)
+		}
+		for col, ranks := range byColor {
+			sort.Slice(ranks, func(i, j int) bool {
+				ki, kj := entries[ranks[i]][1], entries[ranks[j]][1]
+				if ki != kj {
+					return ki < kj
+				}
+				return ranks[i] < ranks[j]
+			})
+			// Disjoint colors of the same split may share an id harmlessly
+			// (their endpoint pairs never collide); overlapping membership
+			// only arises along one rank's split lineage, where the
+			// (parent id, seq) mix below separates the generations.
+			subID := deriveCommID(g.commID, seq)
+			world := make([]int, len(ranks))
+			for nr, pr := range ranks {
+				world[nr] = g.regRanks[pr]
+			}
+			for nr, pr := range ranks {
+				if pr == 0 {
+					id, newRank, worldRanks = subID, nr, world
+					continue
+				}
+				reply := append([]int{int(subID), nr}, world...)
+				if err := c.Send(pr, tagSplit, reply); err != nil {
+					return nil, err
+				}
+			}
+			_ = col
+		}
+		if worldRanks == nil {
+			// Rank 0 always belongs to some color group of its own call.
+			return nil, fmt.Errorf("mpi: split partition lost rank 0")
+		}
+	}
+
+	sg := &group{size: len(worldRanks), td: g.td, tr: g.tr, commID: id,
+		msgID: g.msgID, splitPending: map[int]*splitGather{},
+		splitSeq: make([]int, len(worldRanks)),
+		regRanks: append([]int(nil), worldRanks...)}
+	sg.stats = make([]*Stats, sg.size)
+	for r := range sg.stats {
+		sg.stats[r] = &Stats{}
+	}
+	sub := sg.comm(newRank)
+	sub.deadline = c.deadline
+	sub.icept = c.icept
+	sub.tm = c.tm
+	return sub, nil
+}
+
+// deriveCommID mixes the parent communicator id and the split sequence
+// into a stable non-zero child id (FNV-1a), identical on every process
+// because both inputs are.
+func deriveCommID(parent int32, seq int) int32 {
+	h := uint32(2166136261)
+	mix := func(v uint32) {
+		for i := 0; i < 4; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 16777619
+		}
+	}
+	mix(uint32(parent))
+	mix(uint32(seq) + 1)
+	id := int32(h & 0x7fffffff)
+	if id == 0 {
+		id = 1
+	}
+	return id
 }

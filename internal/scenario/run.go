@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -13,6 +15,7 @@ import (
 	"distfdk/internal/experiments"
 	"distfdk/internal/fault"
 	"distfdk/internal/mpi"
+	"distfdk/internal/mpi/nettrans"
 	"distfdk/internal/telemetry"
 )
 
@@ -56,7 +59,14 @@ type RunMetrics struct {
 	// spent in communication and idle waits.
 	CritCommFraction float64 `json:"critical_path_comm_fraction"`
 	CritWaitFraction float64 `json:"critical_path_wait_fraction"`
-	Err              string  `json:"error,omitempty"`
+	// Reconnects/Retransmits/CrcErrors are the socket transport's recovery
+	// counters (zero on a channel world): connection re-establishments
+	// (both link ends count each sever), frames re-sent through replay,
+	// and frames rejected by the CRC check.
+	Reconnects  int64  `json:"reconnects,omitempty"`
+	Retransmits int64  `json:"retransmits,omitempty"`
+	CrcErrors   int64  `json:"crc_errors,omitempty"`
+	Err         string `json:"error,omitempty"`
 }
 
 // world is the reusable part of a scenario replay: the synthetic dataset
@@ -125,8 +135,16 @@ func replay(cfg *Config, w *world, runIdx int, inject, withTelemetry bool) RunMe
 		retry = &fault.RetryPolicy{Seed: cfg.Seed}
 	}
 	deadline := cfg.Deadline
-	if deadline == 0 && cfg.Supervised() {
-		deadline = 10 * time.Second
+	if deadline == 0 {
+		switch {
+		case cfg.World.SocketTransport():
+			// Socket worlds always get a deadline, kills or not: a wire
+			// fault that escapes the link's recovery must surface typed,
+			// not hang the gate.
+			deadline = 20 * time.Second
+		case cfg.Supervised():
+			deadline = 10 * time.Second
+		}
 	}
 	sink, err := core.NewVolumeSink(w.env.Sys)
 	if err != nil {
@@ -145,7 +163,10 @@ func replay(cfg *Config, w *world, runIdx int, inject, withTelemetry bool) RunMe
 
 	start := time.Now()
 	var rep *core.SuperviseReport
-	if cfg.Supervised() {
+	switch {
+	case cfg.World.SocketTransport():
+		rep, err = runSocketArm(cfg, w, opts, run)
+	case cfg.Supervised():
 		opts.Checkpoint = newMemJournal()
 		sup := core.SuperviseOptions{Cluster: opts}
 		if cfg.Supervise != nil {
@@ -153,7 +174,7 @@ func replay(cfg *Config, w *world, runIdx int, inject, withTelemetry bool) RunMe
 			sup.RestartBackoff = cfg.Supervise.RestartBackoff
 		}
 		rep, err = core.Supervise(sup)
-	} else {
+	default:
 		_, err = core.RunDistributed(opts)
 	}
 	m.Wall = int64(time.Since(start))
@@ -192,14 +213,96 @@ func replay(cfg *Config, w *world, runIdx int, inject, withTelemetry bool) RunMe
 		m.CritCommFraction = cp.CommFraction
 		m.CritWaitFraction = cp.WaitFraction
 	}
+	m.Reconnects = telemetry.CounterTotal(snaps, "transport.reconnects")
+	m.Retransmits = telemetry.CounterTotal(snaps, "transport.retransmits")
+	m.CrcErrors = telemetry.CounterTotal(snaps, "transport.crc_errors")
 	return m
 }
 
+// runSocketArm replays one arm over an in-process socket fleet: one
+// nettrans.Node per declared process wired through real kernel sockets,
+// the coordinator (proc 0) owning the volume sink and the supervise
+// telemetry, followers re-running the same batch loop and the same
+// shrink decisions against a discard sink. The shared fault injector
+// doubles as the wire chaos schedule (nettrans fires frame-drop /
+// frame-corrupt / frame-dup / frame-delay / sever rules below the frame
+// codec) and as the in-pipeline schedule (load/store rules, kills).
+func runSocketArm(cfg *Config, w *world, opts core.ClusterOptions, run *telemetry.Run) (*core.SuperviseReport, error) {
+	ncfg := nettrans.Config{
+		Network: cfg.World.Transport,
+		// CI-scale liveness: fast heartbeats so an injected death is
+		// detected well inside the collective deadline.
+		Heartbeat:  25 * time.Millisecond,
+		DeathAfter: 2 * time.Second,
+		Injector:   opts.FaultInjector,
+	}
+	if run != nil {
+		// Transport counters land in the run's shared registry, so the
+		// harvest reads them from the same snapshots as everything else.
+		ncfg.Telemetry = run.Shared()
+	}
+	if cfg.World.Transport == "unix" {
+		dir, err := os.MkdirTemp("", "distfdk-scenario-*")
+		if err != nil {
+			return nil, fmt.Errorf("scenario: unix socket dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		ncfg.Addr = filepath.Join(dir, "hub.sock")
+	}
+	fl, err := nettrans.NewFleet(cfg.World.Procs, ncfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: socket fleet: %w", err)
+	}
+	defer fl.Close()
+
+	journal := newMemJournal()
+	errs := make([]error, len(fl.Nodes))
+	reps := make([]*core.SuperviseReport, len(fl.Nodes))
+	var wg sync.WaitGroup
+	for i, n := range fl.Nodes {
+		o := opts
+		o.Launch = n.Launcher(w.plan.NRanksPerGroup)
+		if i != 0 {
+			o.Output = core.DiscardSink{}
+		}
+		wg.Add(1)
+		go func(i int, o core.ClusterOptions) {
+			defer wg.Done()
+			if cfg.Supervised() {
+				o.Checkpoint = journal
+				sup := core.SuperviseOptions{Cluster: o, Follower: i != 0}
+				if cfg.Supervise != nil {
+					sup.MaxRestarts = cfg.Supervise.MaxRestarts
+					sup.RestartBackoff = cfg.Supervise.RestartBackoff
+				}
+				reps[i], errs[i] = core.Supervise(sup)
+			} else {
+				_, errs[i] = core.RunDistributed(o)
+			}
+		}(i, o)
+	}
+	wg.Wait()
+	// The coordinator's verdict is the arm's verdict (its error is typed
+	// for classify). A follower failing while the coordinator succeeded
+	// means the fleet's views diverged — surface it, never mask it.
+	if errs[0] != nil {
+		return reps[0], errs[0]
+	}
+	for i, e := range errs[1:] {
+		if e != nil {
+			return reps[0], fmt.Errorf("scenario: follower proc %d diverged from coordinator: %w", i+1, e)
+		}
+	}
+	return reps[0], nil
+}
+
 // needsRetry reports whether the schedule contains transient error rules
-// (delay-free): the ones a RetryPolicy exists to absorb.
+// (delay-free): the ones a RetryPolicy exists to absorb. Wire-level rules
+// don't count — the link's CRC/sequence/replay machinery absorbs those
+// below the pipeline, no retry policy involved.
 func needsRetry(cfg *Config) bool {
 	for _, f := range cfg.Faults {
-		if f.Class != "permanent" && f.Delay == 0 {
+		if !isWireOp(f.Op) && f.Class != "permanent" && f.Delay == 0 {
 			return true
 		}
 	}
@@ -438,6 +541,9 @@ func aggregate(cfg *Config, res *ScenarioResult) {
 	m["lost_ranks"] = med(inj, func(r RunMetrics) float64 { return float64(r.Lost) })
 	m["critical_path_comm_fraction"] = med(inj, func(r RunMetrics) float64 { return r.CritCommFraction })
 	m["critical_path_wait_fraction"] = med(inj, func(r RunMetrics) float64 { return r.CritWaitFraction })
+	m["reconnects"] = med(inj, func(r RunMetrics) float64 { return float64(r.Reconnects) })
+	m["retransmits"] = med(inj, func(r RunMetrics) float64 { return float64(r.Retransmits) })
+	m["crc_errors"] = med(inj, func(r RunMetrics) float64 { return float64(r.CrcErrors) })
 	if len(res.Dark) > 0 {
 		darkWall := RobustMedian(pick(res.Dark, func(r RunMetrics) float64 { return float64(r.Wall) }))
 		baseWall := RobustMedian(pick(base, func(r RunMetrics) float64 { return float64(r.Wall) }))

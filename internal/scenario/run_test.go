@@ -207,6 +207,92 @@ runs: 2
 	}
 }
 
+// TestExecuteSocketWorldRecovery replays a supervised scenario over a
+// real loopback TCP fleet: three processes, a wire sever absorbed by the
+// link's reconnect + replay, then a rank kill that every process's
+// supervisor must resolve into the same one-restart shrink. This is the
+// in-repo twin of scenarios/net-partition.yaml.
+func TestExecuteSocketWorldRecovery(t *testing.T) {
+	cfg := mustParse(t, `name: socket-recovery
+runs: 1
+world:
+  groups: 2
+  ranks: 2
+  batches: 4
+  transport: tcp
+  procs: 3
+faults:
+  - op: sever
+    rank: 1
+    nth: 2
+kills:
+  - rank: 1
+    batch: 1
+supervise:
+  max_restarts: 2
+  restart_backoff: 1ms
+gates:
+  - metric: reconnects
+    min: 1
+  - metric: retransmits
+    min: 1
+  - metric: restarts
+    min: 1
+    max: 1
+  - metric: lost_ranks
+    min: 1
+`)
+	res, err := Execute(cfg, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("socket recovery scenario failed: %+v", res.Gates)
+	}
+	for _, r := range res.Baseline {
+		if r.Outcome != OutcomeSuccess {
+			t.Fatalf("baseline over sockets failed: %+v", r)
+		}
+	}
+	for _, r := range res.Injected {
+		if r.Reconnects < 1 || r.Restarts != 1 {
+			t.Fatalf("injected run = %+v", r)
+		}
+	}
+}
+
+// TestExecuteUnixSocketWorld runs the fault-free control over unix
+// domain sockets: the fleet path must provision (and clean up) the
+// socket directory itself and reconstruct successfully.
+func TestExecuteUnixSocketWorld(t *testing.T) {
+	cfg := mustParse(t, `name: socket-unix
+runs: 1
+world:
+  groups: 2
+  ranks: 2
+  batches: 4
+  transport: unix
+  procs: 3
+gates:
+  - metric: faults_injected
+    max: 0
+  - metric: restarts
+    max: 0
+`)
+	res, err := Execute(cfg, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("unix socket scenario failed: %+v", res.Gates)
+	}
+	for _, r := range append(res.Baseline, res.Injected...) {
+		if r.Outcome != OutcomeSuccess || r.Batches == 0 {
+			t.Fatalf("run = %+v", r)
+		}
+	}
+}
+
 func TestRobustMedian(t *testing.T) {
 	if m := RobustMedian(nil); m != 0 {
 		t.Errorf("empty = %g", m)

@@ -44,7 +44,8 @@ type Config struct {
 	// non-empty kill schedule.
 	Supervise *SuperviseConfig `json:"supervise,omitempty"`
 	// Deadline bounds collectives so a dead peer surfaces typed instead of
-	// hanging the gate (default 10s whenever kills are scheduled).
+	// hanging the gate (default 10s whenever kills are scheduled, 20s on
+	// socket-transport worlds).
 	Deadline time.Duration `json:"deadline,omitempty"`
 	// Expect is the demanded outcome of every injected run: "success"
 	// (default), "restart-budget", "world-too-small" or "rank-lost" —
@@ -63,6 +64,21 @@ type WorldConfig struct {
 	Groups  int    `json:"groups"`
 	Ranks   int    `json:"ranks"`
 	Batches int    `json:"batches"`
+	// Transport selects how ranks talk: "chan" (default) keeps the
+	// in-process channel world; "tcp" or "unix" replays every arm over an
+	// in-process socket fleet (nettrans) — real kernel sockets, framing,
+	// heartbeats and reconnects — which is what makes wire-level fault
+	// rules (frame-drop, frame-corrupt, frame-dup, frame-delay, sever)
+	// meaningful.
+	Transport string `json:"transport,omitempty"`
+	// Procs is the socket fleet's process count (hub + workers); required
+	// (≥ 2) when Transport is tcp or unix, forbidden otherwise.
+	Procs int `json:"procs,omitempty"`
+}
+
+// SocketTransport reports whether the world runs over the socket fleet.
+func (w WorldConfig) SocketTransport() bool {
+	return w.Transport == "tcp" || w.Transport == "unix"
 }
 
 // PhaseConfig is the declarative form of fault.PhaseSchedule.
@@ -143,6 +159,9 @@ var metricCatalog = map[string]string{
 	"wall_time":                   "injected-arm wall time (ns)",
 	"critical_path_comm_fraction": "injected-arm share of the critical path spent in communication (reduce + mpi transfers), 0..1",
 	"critical_path_wait_fraction": "injected-arm share of the critical path spent idle (credit waits, blocked peers), 0..1",
+	"reconnects":                  "socket-transport connection re-establishments (both link ends count)",
+	"retransmits":                 "socket-transport frames re-sent through replay after a sever, drop or corruption",
+	"crc_errors":                  "socket-transport frames rejected by the CRC check",
 }
 
 // MetricHelp returns the catalog line for a metric name.
@@ -287,11 +306,26 @@ func crossValidate(path string, root *node, cfg *Config) error {
 			return fmt.Errorf("%s:%d: faults: rank %d out of range (world has %d ranks)",
 				path, root.keyLn["faults"], f.Rank, w.Groups*w.Ranks)
 		}
+		if isWireOp(f.Op) && !w.SocketTransport() {
+			return fmt.Errorf("%s:%d: faults: op %q needs world.transport tcp or unix (a channel world has no wire)",
+				path, root.keyLn["faults"], f.Op)
+		}
 	}
 	if len(cfg.Gates) == 0 {
 		return fmt.Errorf("%s: scenario declares no gates (nothing to assert)", path)
 	}
 	return nil
+}
+
+// isWireOp reports whether op acts on the socket wire below the frame
+// codec (meaningful only when the world runs over tcp or unix).
+func isWireOp(op string) bool {
+	switch op {
+	case fault.OpFrameDrop, fault.OpFrameCorrupt, fault.OpFrameDup,
+		fault.OpFrameDelay, fault.OpSever:
+		return true
+	}
+	return false
 }
 
 // Injector compiles the scenario's fault schedule for one run. Runs are
@@ -457,16 +491,39 @@ func (d *dec) decodeWorld(root *node, cfg *Config) {
 		d.fail(root.keyLn["world"], "world", "want a mapping, got a %s", w.kind)
 		return
 	}
-	d.allowKeys(w, "world", "dataset", "div", "n", "groups", "ranks", "batches")
+	d.allowKeys(w, "world", "dataset", "div", "n", "groups", "ranks", "batches",
+		"transport", "procs")
 	cfg.World = WorldConfig{
-		Dataset: d.optString(w, "dataset", "tomo_00030"),
-		Div:     d.optInt(w, "div", 16),
-		N:       d.optInt(w, "n", 32),
-		Groups:  d.optInt(w, "groups", 0),
-		Ranks:   d.optInt(w, "ranks", 0),
-		Batches: d.optInt(w, "batches", 0),
+		Dataset:   d.optString(w, "dataset", "tomo_00030"),
+		Div:       d.optInt(w, "div", 16),
+		N:         d.optInt(w, "n", 32),
+		Groups:    d.optInt(w, "groups", 0),
+		Ranks:     d.optInt(w, "ranks", 0),
+		Batches:   d.optInt(w, "batches", 0),
+		Transport: d.optString(w, "transport", "chan"),
+		Procs:     d.optInt(w, "procs", 0),
 	}
 	if d.err != nil {
+		return
+	}
+	switch cfg.World.Transport {
+	case "chan", "tcp", "unix":
+	default:
+		d.fail(w.keyLn["transport"], "world.transport",
+			"unknown transport %q (chan, tcp, unix)", cfg.World.Transport)
+		return
+	}
+	if cfg.World.SocketTransport() {
+		if cfg.World.Procs < 2 {
+			line := w.keyLn["procs"]
+			if line == 0 {
+				line = w.keyLn["transport"]
+			}
+			d.fail(line, "world.procs", "a %s world needs at least 2 processes (hub + workers)", cfg.World.Transport)
+			return
+		}
+	} else if cfg.World.Procs != 0 {
+		d.fail(w.keyLn["procs"], "world.procs", "only meaningful with transport tcp or unix")
 		return
 	}
 	for _, f := range []struct {
@@ -541,8 +598,14 @@ func (d *dec) decodeFaults(root *node, cfg *Config) {
 		}
 		switch r.Op {
 		case fault.OpLoad, fault.OpStore, fault.OpSend, fault.OpRecv:
+		case fault.OpFrameDrop, fault.OpFrameCorrupt, fault.OpFrameDup,
+			fault.OpFrameDelay, fault.OpSever:
+			// Wire-level ops act below the frame codec; only a socket world
+			// has a wire for them to act on (checked in crossValidate, which
+			// sees the world section whatever the key order).
 		default:
-			d.fail(item.keyLn["op"], field+".op", "unknown operation %q (load, store, send, recv)", r.Op)
+			d.fail(item.keyLn["op"], field+".op",
+				"unknown operation %q (load, store, send, recv, frame-drop, frame-corrupt, frame-dup, frame-delay, sever)", r.Op)
 			return
 		}
 		switch r.Class {

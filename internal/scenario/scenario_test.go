@@ -59,8 +59,11 @@ func TestParseValidScenario(t *testing.T) {
 	if cfg.Name != "demo-scenario" || cfg.Seed != 7 || cfg.Runs != 2 {
 		t.Errorf("header = %+v", cfg)
 	}
-	if cfg.World != (WorldConfig{Dataset: "tomo_00030", Div: 16, N: 32, Groups: 2, Ranks: 2, Batches: 4}) {
+	if cfg.World != (WorldConfig{Dataset: "tomo_00030", Div: 16, N: 32, Groups: 2, Ranks: 2, Batches: 4, Transport: "chan"}) {
 		t.Errorf("world defaults not applied: %+v", cfg.World)
+	}
+	if cfg.World.SocketTransport() {
+		t.Error("default world must not be a socket world")
 	}
 	if cfg.Phases != (PhaseConfig{Warmup: 1, Inject: 2}) {
 		t.Errorf("phases = %+v", cfg.Phases)
@@ -140,6 +143,11 @@ func TestParseScenarioErrors(t *testing.T) {
 		{"warmup swallows run", edit(t, "warmup: 1", "warmup: 4"), "consume the whole run"},
 		{"missing world", []byte("name: x\ngates:\n  - metric: retries\n    min: 0\n"), "world: required section missing"},
 		{"missing name", []byte("world:\n  groups: 1\n  ranks: 1\n  batches: 1\n"), "name: required key missing"},
+		{"bad transport", edit(t, "  batches: 4", "  batches: 4\n  transport: carrier-pigeon"), `unknown transport "carrier-pigeon"`},
+		{"socket without procs", edit(t, "  batches: 4", "  batches: 4\n  transport: tcp"), "at least 2 processes"},
+		{"one-proc socket world", edit(t, "  batches: 4", "  batches: 4\n  transport: unix\n  procs: 1"), "at least 2 processes"},
+		{"procs on channel world", edit(t, "  batches: 4", "  batches: 4\n  procs: 3"), "only meaningful with transport"},
+		{"wire op on channel world", edit(t, "op: recv", "op: sever"), "needs world.transport tcp or unix"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -183,6 +191,51 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(b[i:])
+}
+
+// TestParseSocketWorld pins the socket-world schema: transport + procs
+// decode, and wire-level fault ops are accepted once the world has a
+// wire for them to act on.
+func TestParseSocketWorld(t *testing.T) {
+	doc := `name: net
+world:
+  groups: 2
+  ranks: 2
+  batches: 4
+  transport: tcp
+  procs: 3
+faults:
+  - op: sever
+    rank: 1
+    nth: 2
+  - op: frame-corrupt
+    rank: 3
+gates:
+  - metric: reconnects
+    min: 1
+  - metric: retransmits
+    min: 1
+  - metric: crc_errors
+    min: 1
+`
+	cfg, err := Parse("net.yaml", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.World.Transport != "tcp" || cfg.World.Procs != 3 || !cfg.World.SocketTransport() {
+		t.Errorf("world = %+v", cfg.World)
+	}
+	if len(cfg.Faults) != 2 || cfg.Faults[0].Op != fault.OpSever || cfg.Faults[1].Op != fault.OpFrameCorrupt {
+		t.Errorf("faults = %+v", cfg.Faults)
+	}
+	// The compiled injector carries the wire rules for nettrans.
+	in := cfg.Injector(0)
+	if in.Hit(fault.OpSever, 1) != nil {
+		t.Error("sever nth 2 fired on the first occurrence")
+	}
+	if in.Hit(fault.OpSever, 1) == nil {
+		t.Error("sever nth 2 did not fire on the second occurrence")
+	}
 }
 
 func TestGatelessScenarioRejected(t *testing.T) {

@@ -100,10 +100,20 @@ func parseYAML(path string, data []byte) (*node, error) {
 }
 
 // scan splits data into significant lines, rejecting tabs in indentation
-// and stripping comments and document markers.
+// and stripping comments and document markers. Line endings are
+// normalised first — CRLF (Windows editors, git autocrlf) and lone CR
+// both terminate a line — so reported line numbers always match what an
+// editor shows, whatever wrote the file.
 func (p *parser) scan(data []byte) error {
-	for num, raw := range strings.Split(string(data), "\n") {
-		line := strings.TrimRight(raw, "\r")
+	text := strings.ReplaceAll(string(data), "\r\n", "\n")
+	text = strings.ReplaceAll(text, "\r", "\n")
+	for num, line := range strings.Split(text, "\n") {
+		// Blank and comment-only lines are insignificant whatever their
+		// indentation: a tab-indented full-line comment must not trip the
+		// tab check below, which guards content alignment only.
+		if t := strings.TrimLeft(line, " \t"); t == "" || t[0] == '#' {
+			continue
+		}
 		indent := 0
 		for indent < len(line) && line[indent] == ' ' {
 			indent++

@@ -61,6 +61,68 @@ list:
 	}
 }
 
+// TestParseYAMLLineEndingsAndComments pins the robustness contract for
+// files that crossed a Windows editor, git autocrlf, or an old-Mac tool:
+// CRLF and CR-only line endings parse identically to LF, full-line
+// comments are insignificant whatever their indentation (spaces or tabs),
+// and error line numbers stay aligned with what an editor shows.
+func TestParseYAMLLineEndingsAndComments(t *testing.T) {
+	base := "name: demo\nworld:\n  groups: 2\n  ranks: 2\nfaults:\n  - op: load\n"
+	check := func(t *testing.T, doc string) {
+		t.Helper()
+		root, err := parseYAML("demo.yaml", []byte(doc))
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if root.vals["name"].scalar != "demo" {
+			t.Errorf("name = %q", root.vals["name"].scalar)
+		}
+		if root.vals["world"].vals["ranks"].scalar != "2" {
+			t.Errorf("world.ranks = %+v", root.vals["world"])
+		}
+		if f := root.vals["faults"]; len(f.items) != 1 || f.items[0].vals["op"].scalar != "load" {
+			t.Errorf("faults = %+v", f)
+		}
+	}
+	t.Run("crlf", func(t *testing.T) {
+		check(t, strings.ReplaceAll(base, "\n", "\r\n"))
+	})
+	t.Run("cr-only", func(t *testing.T) {
+		check(t, strings.ReplaceAll(base, "\n", "\r"))
+	})
+	t.Run("mixed-endings", func(t *testing.T) {
+		check(t, "name: demo\r\nworld:\r  groups: 2\n  ranks: 2\r\nfaults:\n  - op: load\r\n")
+	})
+	t.Run("comment-only-lines-any-indentation", func(t *testing.T) {
+		check(t, "# top comment\nname: demo\n\t# tab-indented comment\nworld:\n"+
+			"    # space-indented comment\n  groups: 2\n \t # mixed-indent comment\n"+
+			"  ranks: 2\nfaults:\n  - op: load\n")
+	})
+	t.Run("crlf-with-comments", func(t *testing.T) {
+		check(t, strings.ReplaceAll(
+			"# header\r\nname: demo\r\n\t# note\r\nworld:\r\n  groups: 2\r\n  ranks: 2\r\nfaults:\r\n  - op: load\r\n",
+			"", ""))
+	})
+	// Line numbers in errors count normalised lines — identical across
+	// ending styles, and unaffected by skipped comment-only lines.
+	for _, tc := range []struct{ name, sep string }{
+		{"lf-line-numbers", "\n"}, {"crlf-line-numbers", "\r\n"}, {"cr-line-numbers", "\r"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := strings.ReplaceAll("# one\na: 1\n\t# three\na:1\n", "\n", tc.sep)
+			_, err := parseYAML("bad.yaml", []byte(doc))
+			if err == nil || !strings.Contains(err.Error(), "bad.yaml:4: missing space") {
+				t.Fatalf("error = %v, want bad.yaml:4: missing space", err)
+			}
+		})
+	}
+	// Tabs indenting real content are still rejected, with the right line.
+	if _, err := parseYAML("bad.yaml", []byte("a: 1\n\tb: 2\n")); err == nil ||
+		!strings.Contains(err.Error(), "bad.yaml:2: tab in indentation") {
+		t.Fatalf("tab-indented content: error = %v, want bad.yaml:2: tab in indentation", err)
+	}
+}
+
 // TestParseYAMLErrors pins the loader's contract: every malformed file is
 // rejected with the file name and the offending line number.
 func TestParseYAMLErrors(t *testing.T) {
